@@ -1,0 +1,69 @@
+// Command htbench regenerates every table and figure of the paper's
+// evaluation (§7) on the simulated testbed and prints the results in
+// paper-style rows.
+//
+// Usage:
+//
+//	htbench [-quick] [-seed N] [-run substr]
+//
+// -run selects experiments whose ID contains the substring (e.g. "Fig. 11"
+// or "Table"); the default runs everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hypertester/hypertester/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink measurement windows and sweeps")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	run := flag.String("run", "", "only run experiments whose ID contains this substring")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	type entry struct {
+		id string
+		fn func(experiments.Config) *experiments.Result
+	}
+	all := []entry{
+		{"Table 5", experiments.Table5LoC},
+		{"Fig. 9", experiments.Fig9SinglePort},
+		{"Fig. 10", experiments.Fig10MultiPort},
+		{"Fig. 11", experiments.Fig11RateControl40G},
+		{"Fig. 12", experiments.Fig12RateControl100G},
+		{"Fig. 13", experiments.Fig13RandomQQ},
+		{"Fig. 14", experiments.Fig14Accelerator},
+		{"Fig. 15", experiments.Fig15Replicator},
+		{"Fig. 16", experiments.Fig16StatCollection},
+		{"Fig. 17", experiments.Fig17ExactMatch},
+		{"Table 6", experiments.Table6Cost},
+		{"Table 7", experiments.Table7Resources},
+		{"Table 8", experiments.Table8SynFlood},
+		{"Fig. 18", experiments.Fig18DelayTesting},
+		{"Ablation A", experiments.AblationSketchAccuracy},
+		{"Ablation B", experiments.AblationCuckooOccupancy},
+		{"Ablation C", experiments.AblationTemplateAmplification},
+		{"Case study", experiments.CaseWebScale},
+	}
+	ran := 0
+	for _, e := range all {
+		if *run != "" && !strings.Contains(e.id, *run) {
+			continue
+		}
+		start := time.Now()
+		res := e.fn(cfg)
+		ran++
+		fmt.Println(res.String())
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -run %q\n", *run)
+		os.Exit(1)
+	}
+}

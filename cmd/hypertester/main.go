@@ -1,0 +1,169 @@
+// Command hypertester is the operator CLI: it loads a testing task written
+// in the NTAPI text format (§4), deploys it on the simulated programmable
+// switch, runs it against a chosen device under test, and prints the query
+// reports — the §5.4 workflow end to end.
+//
+// Usage:
+//
+//	hypertester -task webtest.nt -dut httpfarm -duration 20ms
+//	hypertester -task throughput.nt -p4        # dump the generated P4
+//
+// Devices under test: sink (count only), reflector (bounce traffic back),
+// httpfarm (stateful TCP/HTTP servers), scantarget (a probeable address
+// space).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	hypertester "github.com/hypertester/hypertester"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/p4ir"
+	"github.com/hypertester/hypertester/internal/testbed"
+)
+
+func main() {
+	taskFile := flag.String("task", "", "NTAPI task file (.nt)")
+	ports := flag.String("ports", "100", "comma-separated port rates in Gbps")
+	duration := flag.Duration("duration", 5*time.Millisecond, "virtual run duration")
+	dutKind := flag.String("dut", "sink", "device under test: sink|reflector|httpfarm|scantarget")
+	dumpP4 := flag.Bool("p4", false, "print the generated P4-14 program and exit")
+	dumpP416 := flag.Bool("p4_16", false, "print the generated P4-16 (TNA) program and exit")
+	pcapOut := flag.String("pcap", "", "write frames received by sink DUTs to this pcap file")
+	resources := flag.Bool("resources", false, "print estimated data-plane resource usage")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *taskFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*taskFile)
+	if err != nil {
+		log.Fatalf("read task: %v", err)
+	}
+
+	var rates []float64
+	for _, p := range strings.Split(*ports, ",") {
+		g, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("bad port rate %q", p)
+		}
+		rates = append(rates, g)
+	}
+
+	ht := hypertester.New(hypertester.Config{Ports: rates, Seed: *seed})
+	name := strings.TrimSuffix(filepath.Base(*taskFile), filepath.Ext(*taskFile))
+	if err := ht.LoadTaskSource(name, string(src)); err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+
+	if *dumpP4 {
+		fmt.Print(ht.GeneratedP4())
+		return
+	}
+	if *dumpP416 {
+		fmt.Print(p4ir.PrintP416(ht.Program.P4))
+		return
+	}
+	if *resources {
+		fmt.Printf("resources (%% of switch.p4): %v\n", ht.Resources())
+		return
+	}
+
+	// Wire every port to its own instance of the chosen DUT.
+	sinks := make([]*testbed.Sink, len(rates))
+	var farm *testbed.HTTPServerFarm
+	var target *testbed.ScanTarget
+	for i, g := range rates {
+		switch *dutKind {
+		case "sink":
+			sinks[i] = testbed.NewSink(ht.Sim, fmt.Sprintf("sink%d", i), g)
+			if *pcapOut != "" {
+				sinks[i].EnableCapture(1 << 20)
+			}
+			testbed.Connect(ht.Sim, ht.Port(i), sinks[i].Iface, testbed.DefaultCableDelay)
+		case "reflector":
+			r := testbed.NewReflector(ht.Sim, fmt.Sprintf("refl%d", i), g)
+			testbed.Connect(ht.Sim, ht.Port(i), r.Iface, testbed.DefaultCableDelay)
+		case "httpfarm":
+			farm = testbed.NewHTTPServerFarm(ht.Sim, fmt.Sprintf("farm%d", i), g)
+			testbed.Connect(ht.Sim, ht.Port(i), farm.Iface, testbed.DefaultCableDelay)
+		case "scantarget":
+			target = testbed.NewScanTarget(ht.Sim, fmt.Sprintf("net%d", i), g)
+			testbed.Connect(ht.Sim, ht.Port(i), target.Iface, testbed.DefaultCableDelay)
+		default:
+			log.Fatalf("unknown DUT kind %q", *dutKind)
+		}
+	}
+
+	if err := ht.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ht.RunFor(netsim.Duration(duration.Nanoseconds()) * netsim.Nanosecond)
+
+	fmt.Printf("task %q ran for %v of virtual time\n\n", name, *duration)
+	for _, tmpl := range ht.Program.Templates {
+		fmt.Printf("trigger %s: fired %d times\n", tmpl.Trigger.Name, ht.Sender.FiredCount(tmpl.ID))
+	}
+	fmt.Println()
+	for _, rep := range ht.Reports() {
+		fmt.Printf("query %s (%s): %d matches, %d bytes\n", rep.Query, rep.Kind, rep.Matches, rep.Bytes)
+		if rep.Kind == "distinct" {
+			fmt.Printf("  distinct keys: %d\n", rep.Distinct)
+		}
+		if rep.DelaySamples > 0 {
+			fmt.Printf("  delay: mean %.1fns min %.1fns max %.1fns over %d samples\n",
+				rep.DelayMeanNs, rep.DelayMinNs, rep.DelayMaxNs, rep.DelaySamples)
+		}
+		if len(rep.Results) > 0 && len(rep.Results) <= 10 {
+			for _, r := range rep.Results {
+				fmt.Printf("  key %v -> %d\n", r.Key, r.Value)
+			}
+		} else if len(rep.Results) > 10 {
+			fmt.Printf("  (%d keys; first: %v -> %d)\n",
+				len(rep.Results), rep.Results[0].Key, rep.Results[0].Value)
+		}
+	}
+	if *dutKind == "sink" {
+		fmt.Println()
+		for i, s := range sinks {
+			if s != nil {
+				fmt.Printf("port %d sink: %.2f Gbps, %.2f Mpps\n",
+					i, s.ThroughputGbps(), s.RatePps()/1e6)
+			}
+		}
+		if *pcapOut != "" {
+			var frames []testbed.CapturedFrame
+			for _, s := range sinks {
+				if s != nil {
+					frames = append(frames, s.Captured()...)
+				}
+			}
+			f, err := os.Create(*pcapOut)
+			if err != nil {
+				log.Fatalf("pcap: %v", err)
+			}
+			defer f.Close()
+			if err := testbed.WritePcap(f, frames); err != nil {
+				log.Fatalf("pcap: %v", err)
+			}
+			fmt.Printf("wrote %d frames to %s\n", len(frames), *pcapOut)
+		}
+	}
+	if farm != nil {
+		fmt.Printf("\nHTTP farm: %d handshakes, %d requests, %d closed\n",
+			farm.Handshakes, farm.Requests, farm.Closed)
+	}
+	if target != nil {
+		fmt.Printf("\nscan target: %d probes, %d SYN+ACK, %d RST\n",
+			target.ProbesSeen, target.SynAcksSent, target.RstsSent)
+	}
+}

@@ -1,0 +1,68 @@
+// Internet scanning (ZMap-style): stateless SYN probes sweep an address
+// block; a distinct query counts responding hosts exactly — no false
+// positives, thanks to exact key matching over the precomputed probe space.
+//
+// Run with:
+//
+//	go run ./examples/ipscan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hypertester "github.com/hypertester/hypertester"
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/testbed"
+)
+
+// Probe 11.0.0.0/16 (65536 addresses) on port 80, one pass.
+const task = `
+# IP scanning
+T1 = trigger()
+    .set([sip, proto, flag], [1.1.0.1, tcp, SYN])
+    .set([dport, sport], [80, 1024])
+    .set(dip, range(184549376, 184614911, 1))
+    .set(loop, 1)
+    .set(port, 0)
+Q1 = query().filter(tcp_flag == SYN+ACK).distinct(keys={ipv4.sip})
+Q2 = query().filter(tcp_flag == RST).reduce(func=count, keys={ipv4.sip})
+`
+
+func main() {
+	ht := hypertester.New(hypertester.Config{Ports: []float64{100}, Seed: 11})
+	if err := ht.LoadTaskSource("ipscan", task); err != nil {
+		log.Fatalf("load task: %v", err)
+	}
+
+	// The scanned network: 3.2% of addresses are live; live hosts serve
+	// 80/443 and RST other ports.
+	target := testbed.NewScanTarget(ht.Sim, "internet", 100)
+	target.LivePermille = 32
+	testbed.Connect(ht.Sim, ht.Port(0), target.Iface, testbed.DefaultCableDelay)
+
+	if err := ht.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ht.RunFor(10 * netsim.Millisecond)
+
+	// Ground truth from the target model.
+	live := 0
+	for i := uint32(0); i < 65536; i++ {
+		if target.Live(netproto.IPv4Addr(184549376 + i)) {
+			live++
+		}
+	}
+
+	fmt.Printf("probes sent:        %d\n", ht.Sender.FiredCount(1))
+	fmt.Printf("probes seen by net: %d\n", target.ProbesSeen)
+	fmt.Printf("live hosts (truth): %d\n", live)
+	rep, _ := ht.Report("Q1")
+	fmt.Printf("distinct SYN+ACK sources measured: %d\n", rep.Distinct)
+	if rep.Distinct == live {
+		fmt.Println("=> exact: counter-based distinct has no false positives (§5.2)")
+	} else {
+		fmt.Println("=> MISMATCH: investigate")
+	}
+}

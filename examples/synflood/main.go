@@ -1,0 +1,66 @@
+// SYN flood attack emulation (§7.5): HyperTester generates 64-byte SYN
+// packets with sweeping spoofed sources on four 100 Gbps ports at line
+// rate, and the run extrapolates to the 6.5 Tbps switch of Table 8.
+//
+// Run with:
+//
+//	go run ./examples/synflood
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hypertester "github.com/hypertester/hypertester"
+	"github.com/hypertester/hypertester/internal/costmodel"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/testbed"
+)
+
+const task = `
+# SYN flood attack emulation
+T1 = trigger()
+    .set([dip, dport, proto, flag], [9.9.9.9, 80, tcp, SYN])
+    .set(sip, range(201326592, 201392127, 1))
+    .set(sport, range(1024, 65535, 1))
+    .set(port, [0, 1, 2, 3])
+`
+
+func main() {
+	ht := hypertester.New(hypertester.Config{
+		Ports: []float64{100, 100, 100, 100}, Seed: 3,
+	})
+	if err := ht.LoadTaskSource("synflood", task); err != nil {
+		log.Fatalf("load task: %v", err)
+	}
+
+	sinks := make([]*testbed.Sink, 4)
+	for i := range sinks {
+		sinks[i] = testbed.NewSink(ht.Sim, fmt.Sprintf("victim%d", i), 100)
+		testbed.Connect(ht.Sim, ht.Port(i), sinks[i].Iface, testbed.DefaultCableDelay)
+	}
+	if err := ht.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ht.RunFor(30 * netsim.Microsecond)
+	for _, s := range sinks {
+		s.Reset()
+	}
+	ht.RunFor(500 * netsim.Microsecond)
+
+	var gbps, mpps float64
+	for i, s := range sinks {
+		fmt.Printf("port %d: %.1f Gbps, %.1f Mpps of SYNs\n",
+			i, s.ThroughputGbps(), s.RatePps()/1e6)
+		gbps += s.ThroughputGbps()
+		mpps += s.RatePps() / 1e6
+	}
+	fmt.Printf("\ntestbed total: %.0f Gbps, %.0f Mpps\n", gbps, mpps)
+	fmt.Printf("emulated attack agents at 1 Mbps each: %.1e\n\n",
+		gbps*1e3/costmodel.AgentTrafficMbps)
+
+	est := costmodel.EstimateSynFlood(6500, 0.8)
+	fmt.Printf("Table 8 estimation for a 6.5 Tbps switch at 80%% efficiency:\n")
+	fmt.Printf("  %.0f Gbps, %.0f Mpps, %.1e agents\n",
+		est.ThroughputGbps, est.SynPacketMpps, est.EmulatedAgents)
+}

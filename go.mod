@@ -1,0 +1,3 @@
+module github.com/hypertester/hypertester
+
+go 1.22

@@ -1,0 +1,61 @@
+package asic
+
+// Hash units. Tofino pipelines compute hashes with CRC engines whose
+// polynomial is selectable per unit; HyperTester's cuckoo arrays and flow
+// digests need several independent functions over the same key bytes. We
+// implement reflected CRC-32 with a configurable polynomial, truncated to
+// the requested width — the same family the hardware offers.
+
+// HashUnit is one configured CRC engine.
+type HashUnit struct {
+	name  string
+	table [256]uint32
+}
+
+// Standard polynomials (reflected form) available to pipelines.
+const (
+	PolyCRC32   = 0xEDB88320 // CRC-32 (Ethernet)
+	PolyCRC32C  = 0x82F63B78 // CRC-32C (Castagnoli)
+	PolyKoopman = 0xEB31D82E // CRC-32K
+	PolyQ       = 0xD5828281 // CRC-32Q (reflected)
+)
+
+// NewHashUnit builds a CRC engine for the given reflected polynomial.
+func NewHashUnit(name string, poly uint32) *HashUnit {
+	h := &HashUnit{name: name}
+	for i := range h.table {
+		crc := uint32(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		h.table[i] = crc
+	}
+	return h
+}
+
+// Sum computes the CRC of data.
+func (h *HashUnit) Sum(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = h.table[byte(crc)^b] ^ crc>>8
+	}
+	return ^crc
+}
+
+// Index hashes data into [0, buckets).
+func (h *HashUnit) Index(data []byte, buckets int) int {
+	return int(h.Sum(data) % uint32(buckets))
+}
+
+// Digest hashes data down to width bits (1..32), the partial-key digest the
+// counter-based algorithm stores instead of full keys (§5.2).
+func (h *HashUnit) Digest(data []byte, width int) uint32 {
+	if width >= 32 {
+		return h.Sum(data)
+	}
+	return h.Sum(data) & (1<<uint(width) - 1)
+}

@@ -1,0 +1,85 @@
+package asic
+
+import "github.com/hypertester/hypertester/internal/netproto"
+
+// PHV is the packet header vector: the parsed representation of a packet
+// plus intrinsic metadata, carried through the match-action pipelines.
+// The pipeline may read and write header fields and metadata but — like the
+// hardware it models — never the payload bytes.
+type PHV struct {
+	// Pkt is the underlying wire packet. Its Data is only rewritten by
+	// the deparser after the egress pipeline.
+	Pkt *netproto.Packet
+
+	// Stack holds the parsed headers.
+	Stack netproto.Stack
+
+	// FrameLen is the frame length in bytes; the pipeline cannot change
+	// it (§5.3 motivates the trigger FIFO with exactly this restriction).
+	FrameLen int
+
+	// Meta mirrors the packet's simulation metadata at parse time.
+	Meta netproto.Meta
+
+	// Intrinsic egress controls set by the pipeline.
+	EgressPort  int  // unicast destination; -1 means unset
+	McastGroup  int  // multicast group ID; 0 means none
+	Drop        bool // discard at end of pipeline
+	Recirculate bool // send back through the recirculation path
+
+	// DigestData, when non-nil, is emitted to the switch CPU through the
+	// digest engine at end of ingress (generate_digest).
+	DigestData []byte
+
+	// Dirty records that a header field changed so the deparser knows to
+	// re-serialize headers and fix checksums.
+	Dirty bool
+
+	// Scratch is pipeline scratch metadata (temporary PHV containers),
+	// reset for every packet.
+	Scratch [8]uint64
+}
+
+// NewPHV parses pkt into a fresh PHV. Parse errors leave the successfully
+// decoded outer layers available, as the hardware parser would.
+func NewPHV(pkt *netproto.Packet) *PHV {
+	p := &PHV{Pkt: pkt, FrameLen: pkt.Len(), Meta: pkt.Meta, EgressPort: -1}
+	// The parser stops at unknown layers without failing the packet.
+	_ = p.Stack.Decode(pkt.Data)
+	return p
+}
+
+// Has reports whether the parser extracted the given layer.
+func (p *PHV) Has(t netproto.LayerType) bool { return p.Stack.Has(t) }
+
+// Deparse re-serializes modified headers in place over the packet data and
+// recomputes checksums. Frame length never changes: the pipeline cannot add
+// or remove bytes.
+func (p *PHV) Deparse() {
+	if !p.Dirty {
+		return
+	}
+	data := p.Pkt.Data
+	off := 0
+	if p.Has(netproto.LayerEthernet) {
+		writeEthernet(data[off:], &p.Stack.Eth)
+		off += netproto.EthernetLen
+	}
+	if p.Has(netproto.LayerVLAN) {
+		writeDot1Q(data[off:], &p.Stack.VLAN)
+		off += netproto.Dot1QLen
+	}
+	if p.Has(netproto.LayerIPv4) {
+		writeIPv4(data[off:], &p.Stack.IP4)
+		l4off := off + netproto.IPv4MinLen
+		switch {
+		case p.Has(netproto.LayerTCP):
+			writeTCP(data[l4off:], &p.Stack.TCP, &p.Stack.IP4, int(p.Stack.IP4.TotalLen)-netproto.IPv4MinLen)
+		case p.Has(netproto.LayerUDP):
+			writeUDP(data[l4off:], &p.Stack.UDP, &p.Stack.IP4)
+		case p.Has(netproto.LayerICMP):
+			writeICMP(data[l4off:], &p.Stack.ICMP, int(p.Stack.IP4.TotalLen)-netproto.IPv4MinLen)
+		}
+	}
+	p.Dirty = false
+}

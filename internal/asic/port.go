@@ -1,0 +1,114 @@
+package asic
+
+import (
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+)
+
+// Port is a switch front-panel or internal port. Transmit serializes frames
+// at the port rate (a busy-until model equivalent to a FIFO queue) and
+// delivers them to the attached sink — a cable towards another device, or
+// the port's own ingress when in loopback mode (§6.1's recirculation-via-
+// loopback technique).
+type Port struct {
+	sw   *Switch
+	ID   int
+	Gbps float64
+
+	// Loopback, when set, wires TX straight back into this port's RX,
+	// turning it into an extra recirculation path.
+	Loopback bool
+
+	// peer receives frames after full serialization. Nil peers discard
+	// (an unplugged port).
+	peer func(pkt *netproto.Packet, at netsim.Time)
+
+	txBusyUntil netsim.Time
+
+	// MaxBacklog bounds how far ahead of real time the TX queue may run
+	// before tail-dropping, modelling finite packet buffers. Zero means
+	// the switch default.
+	MaxBacklog netsim.Duration
+
+	// Counters.
+	TxPackets, TxBytes uint64
+	RxPackets, RxBytes uint64
+	TxDrops            uint64
+}
+
+// DefaultMaxBacklog approximates Tofino's per-port share of packet buffer:
+// at 100 Gbps, 50 us of backlog is ~625 KB.
+const DefaultMaxBacklog = 50 * netsim.Microsecond
+
+// SetPeer attaches the frame sink called at serialization end.
+func (pt *Port) SetPeer(fn func(pkt *netproto.Packet, at netsim.Time)) { pt.peer = fn }
+
+// Transmit enqueues a frame for serialization at the port rate. It is called
+// by the switch at egress-pipeline completion time.
+func (pt *Port) Transmit(pkt *netproto.Packet) {
+	sim := pt.sw.sim
+	now := sim.Now()
+	start := pt.txBusyUntil
+	if start < now {
+		start = now
+	}
+	maxBacklog := pt.MaxBacklog
+	if maxBacklog == 0 {
+		maxBacklog = DefaultMaxBacklog
+	}
+	if start.Sub(now) > maxBacklog {
+		pt.TxDrops++
+		return
+	}
+	wire := netsim.Ns(netproto.WireTimeNs(pkt.Len(), pt.Gbps))
+	end := start.Add(wire)
+	pt.txBusyUntil = end
+	sim.At(end, func() {
+		pt.TxPackets++
+		pt.TxBytes += uint64(pkt.Len())
+		pkt.Meta.EgressPs = int64(end)
+		if pt.Loopback {
+			pt.Receive(pkt)
+			return
+		}
+		// The internal bridge header (template ID, replication metadata,
+		// trigger records) is removed by the deparser before the frame
+		// hits a real wire.
+		pkt.Meta.TemplateID = 0
+		pkt.Meta.Replica = false
+		pkt.Meta.ReplicaID = 0
+		pkt.Meta.SeqID = 0
+		pkt.Meta.Record = nil
+		if pt.peer != nil {
+			pt.peer(pkt, end)
+		}
+	})
+}
+
+// Receive accepts a frame arriving on the wire now. The MAC stamps the
+// ingress timestamp and hands the frame to the ingress pipeline after the
+// fixed ingress latency.
+func (pt *Port) Receive(pkt *netproto.Packet) {
+	sim := pt.sw.sim
+	pt.RxPackets++
+	pt.RxBytes += uint64(pkt.Len())
+	pkt.Meta.IngressPs = int64(sim.Now())
+	pkt.Meta.InPort = pt.ID
+	sim.After(netsim.Duration(IngressLatencyNs)*netsim.Nanosecond, func() {
+		pt.sw.ingress(pkt)
+	})
+}
+
+// Utilization returns transmitted bits / (rate × elapsed) over the given
+// virtual-time window, a convenience for throughput reports.
+func (pt *Port) Utilization(window netsim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	bits := float64(pt.TxBytes+uint64(pt.TxPackets)*netproto.WireOverheadBytes) * 8
+	return bits / (pt.Gbps * window.Nanoseconds())
+}
+
+// Deliver is Receive under the name the testbed wiring uses for any frame
+// destination (switch port or device interface).
+func (pt *Port) Deliver(pkt *netproto.Packet) { pt.Receive(pkt) }

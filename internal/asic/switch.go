@@ -1,0 +1,303 @@
+package asic
+
+import (
+	"fmt"
+
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+)
+
+// RecircPortBase is the port-ID space for internal recirculation paths,
+// addressed by the `recirculate` primitive.
+const RecircPortBase = 1000
+
+// CPUPortID is the PCIe packet port between switching ASIC and switch CPU.
+const CPUPortID = 2000
+
+// Config describes a switch to build.
+type Config struct {
+	Name string
+	Sim  *netsim.Sim
+	// PortGbps gives per-front-panel-port rates; index is port ID.
+	PortGbps []float64
+	// RecircPaths is the number of internal recirculation paths
+	// (default 1). §6.1's loopback trick adds more by flipping front-
+	// panel ports into loopback mode instead.
+	RecircPaths int
+	// Seed drives the switch's jitter streams.
+	Seed int64
+}
+
+// Switch is the simulated programmable switch: front-panel ports, one
+// ingress and one egress pipeline, a traffic manager with a multicast
+// engine, recirculation paths, and a digest engine towards the switch CPU.
+type Switch struct {
+	Name    string
+	sim     *netsim.Sim
+	ports   []*Port
+	recirc  []*Port
+	Ingress *Pipeline
+	Egress  *Pipeline
+	Mcast   *McastEngine
+
+	rngLoop  *netsim.RNG // recirculation-path jitter
+	rngMcast *netsim.RNG // replication-engine jitter
+
+	// DigestOut receives generate_digest messages on the switch-CPU side
+	// after the PCIe channel's service delay.
+	DigestOut func(data []byte, at netsim.Time)
+
+	digestBusyUntil netsim.Time
+	digestQueue     [][]byte
+	digestDraining  bool
+
+	// Counters.
+	PipelineDrops uint64 // packets dropped by pipeline decision
+	NoRouteDrops  uint64 // packets leaving ingress with no destination
+	DigestsSent   uint64
+	DigestDrops   uint64
+
+	uid uint64
+}
+
+// Digest-channel calibration (Fig. 16a): goodput grows linearly with message
+// size and reaches ~4.5 Mbps at 256-byte messages, i.e. the channel is
+// message-rate-bound at ~2200 messages/s.
+const (
+	digestServiceTime = 455 * netsim.Microsecond
+	digestMaxQueue    = 16384
+)
+
+// New builds a switch from cfg.
+func New(cfg Config) *Switch {
+	if cfg.Sim == nil {
+		panic("asic: Config.Sim is required")
+	}
+	if cfg.RecircPaths == 0 {
+		cfg.RecircPaths = 1
+	}
+	sw := &Switch{
+		Name:     cfg.Name,
+		sim:      cfg.Sim,
+		Ingress:  NewPipeline("ingress"),
+		Egress:   NewPipeline("egress"),
+		Mcast:    NewMcastEngine(),
+		rngLoop:  netsim.NewRNG(cfg.Seed, cfg.Name+"/recirc"),
+		rngMcast: netsim.NewRNG(cfg.Seed, cfg.Name+"/mcast"),
+	}
+	for i, g := range cfg.PortGbps {
+		sw.ports = append(sw.ports, &Port{sw: sw, ID: i, Gbps: g})
+	}
+	for i := 0; i < cfg.RecircPaths; i++ {
+		sw.recirc = append(sw.recirc, &Port{
+			sw: sw, ID: RecircPortBase + i, Gbps: RecircGbps, Loopback: true,
+		})
+	}
+	return sw
+}
+
+// Sim returns the simulation the switch is bound to.
+func (sw *Switch) Sim() *netsim.Sim { return sw.sim }
+
+// Port returns a front-panel, recirculation, or loopback port by ID.
+func (sw *Switch) Port(id int) *Port {
+	if id >= RecircPortBase && id < RecircPortBase+len(sw.recirc) {
+		return sw.recirc[id-RecircPortBase]
+	}
+	if id >= 0 && id < len(sw.ports) {
+		return sw.ports[id]
+	}
+	return nil
+}
+
+// NumPorts returns the front-panel port count.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// RecircPaths returns the number of internal recirculation paths.
+func (sw *Switch) RecircPaths() int { return len(sw.recirc) }
+
+// SetLoopback flips a front-panel port into loopback mode, trading its
+// bandwidth for extra recirculation capacity (§6.1).
+func (sw *Switch) SetLoopback(portID int, on bool) error {
+	p := sw.Port(portID)
+	if p == nil || portID >= RecircPortBase {
+		return fmt.Errorf("asic: no front-panel port %d", portID)
+	}
+	p.Loopback = on
+	return nil
+}
+
+// NextUID returns a fresh packet UID.
+func (sw *Switch) NextUID() uint64 {
+	sw.uid++
+	return sw.uid
+}
+
+// InjectFromCPU delivers a CPU-built packet (e.g. a template packet) into
+// the ingress pipeline, as the PCIe packet interface does. The injection
+// takes effect after the PCIe transfer delay.
+func (sw *Switch) InjectFromCPU(pkt *netproto.Packet) {
+	const pcieDelay = 2 * netsim.Microsecond
+	pkt.Meta.UID = sw.NextUID()
+	sw.sim.After(pcieDelay, func() {
+		pkt.Meta.IngressPs = int64(sw.sim.Now())
+		pkt.Meta.InPort = CPUPortID
+		sw.ingress(pkt)
+	})
+}
+
+// ingress runs the ingress pipeline and dispatches the PHV through the
+// traffic manager. Called at ingress-pipeline completion time.
+func (sw *Switch) ingress(pkt *netproto.Packet) {
+	phv := NewPHV(pkt)
+	sw.Ingress.Run(phv)
+	pkt.Meta = phv.Meta // metadata edits travel with the packet
+	if phv.DigestData != nil {
+		sw.emitDigest(phv.DigestData)
+		phv.DigestData = nil
+	}
+	if phv.Drop {
+		sw.PipelineDrops++
+		return
+	}
+	switch {
+	case phv.McastGroup > 0:
+		sw.replicate(phv)
+	case phv.Recirculate:
+		phv.Deparse()
+		sw.toEgress(pkt, sw.recircPortFor(phv), netsim.Duration(TMLatencyNs)*netsim.Nanosecond)
+	case phv.EgressPort >= 0:
+		phv.Deparse()
+		sw.toEgress(pkt, sw.Port(phv.EgressPort), netsim.Duration(TMLatencyNs)*netsim.Nanosecond)
+	default:
+		sw.NoRouteDrops++
+	}
+}
+
+// recircPortFor picks the recirculation path for a PHV. Templates spread
+// across paths by template ID so extra loopback paths extend capacity.
+func (sw *Switch) recircPortFor(phv *PHV) *Port {
+	if len(sw.recirc) == 1 {
+		return sw.recirc[0]
+	}
+	return sw.recirc[phv.Meta.TemplateID%len(sw.recirc)]
+}
+
+// replicate hands the PHV to the multicast engine: one copy per CopySpec,
+// each delayed by the replication-engine latency.
+func (sw *Switch) replicate(phv *PHV) {
+	copies := sw.Mcast.Copies(phv.McastGroup)
+	if copies == nil {
+		sw.NoRouteDrops++
+		return
+	}
+	phv.Deparse()
+	base := netsim.Duration(TMLatencyNs) * netsim.Nanosecond
+	for _, c := range copies {
+		dup := phv.Pkt.Clone()
+		dup.Meta.UID = sw.NextUID()
+		dup.Meta.Replica = true
+		dup.Meta.ReplicaID = c.Rid
+		d := base
+		if c.Rid != 0 {
+			// Replication-engine latency applies to generated copies;
+			// the rid-0 copy is the original continuing its path
+			// (otherwise the recirculation loop could not sustain the
+			// paper's 570 ns RTT while firing every arrival).
+			d += netsim.Ns(McastDelayNs(dup.Len())) +
+				sw.rngMcast.Jitter(McastJitterSpreadNs*netsim.Nanosecond)
+		}
+		sw.toEgress(dup, sw.Port(c.Port), d)
+	}
+}
+
+// toEgress schedules the egress pipeline for pkt on port after tmDelay.
+func (sw *Switch) toEgress(pkt *netproto.Packet, port *Port, tmDelay netsim.Duration) {
+	if port == nil {
+		sw.NoRouteDrops++
+		return
+	}
+	sw.sim.After(tmDelay, func() {
+		phv := NewPHV(pkt)
+		phv.EgressPort = port.ID
+		sw.Egress.Run(phv)
+		pkt.Meta = phv.Meta
+		if phv.DigestData != nil {
+			sw.emitDigest(phv.DigestData)
+			phv.DigestData = nil
+		}
+		if phv.Drop {
+			sw.PipelineDrops++
+			return
+		}
+		phv.Deparse()
+		egressDelay := netsim.Duration(EgressLatencyNs+MACTxLatencyNs) * netsim.Nanosecond
+		if port.Loopback {
+			// Calibrated loop: apply the fractional correction plus
+			// bounded jitter so measured RTTs match Fig. 14a.
+			egressDelay -= netsim.Ns(pipeFixedSubNs)
+			egressDelay += sw.rngLoop.Jitter(RTTJitterSpreadNs * netsim.Nanosecond / 2)
+		}
+		sw.sim.After(egressDelay, func() { port.Transmit(pkt) })
+	})
+}
+
+// DigestQueueLen reports messages currently queued on the digest channel
+// (the pipeline-visible backpressure signal a learn filter provides).
+func (sw *Switch) DigestQueueLen() int { return len(sw.digestQueue) }
+
+// emitDigest queues a generate_digest message on the PCIe channel towards
+// the switch CPU. The channel is message-rate bound; overflow drops.
+func (sw *Switch) emitDigest(data []byte) {
+	if sw.DigestOut == nil {
+		return
+	}
+	if len(sw.digestQueue) >= digestMaxQueue {
+		sw.DigestDrops++
+		return
+	}
+	msg := make([]byte, len(data))
+	copy(msg, data)
+	sw.digestQueue = append(sw.digestQueue, msg)
+	sw.scheduleDigest()
+}
+
+// scheduleDigest arms the next channel delivery if one is not in flight.
+func (sw *Switch) scheduleDigest() {
+	if sw.digestDraining || len(sw.digestQueue) == 0 {
+		return
+	}
+	sw.digestDraining = true
+	now := sw.sim.Now()
+	start := sw.digestBusyUntil
+	if start < now {
+		start = now
+	}
+	end := start.Add(digestServiceTime)
+	sw.digestBusyUntil = end
+	sw.sim.At(end, func() {
+		sw.digestDraining = false
+		if len(sw.digestQueue) == 0 {
+			return // flushed in the meantime
+		}
+		msg := sw.digestQueue[0]
+		sw.digestQueue = sw.digestQueue[1:]
+		sw.DigestsSent++
+		sw.DigestOut(msg, end)
+		sw.scheduleDigest()
+	})
+}
+
+// FlushDigests synchronously delivers every queued digest message — the
+// switch CPU reading out the learn buffer at collection time.
+func (sw *Switch) FlushDigests() {
+	now := sw.sim.Now()
+	for len(sw.digestQueue) > 0 {
+		msg := sw.digestQueue[0]
+		sw.digestQueue = sw.digestQueue[1:]
+		sw.DigestsSent++
+		if sw.DigestOut != nil {
+			sw.DigestOut(msg, now)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package asic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Action is the code body of a match-action entry. Actions run against the
+// PHV only — they cannot allocate packets or touch payloads.
+type Action func(p *PHV)
+
+// MatchKind selects the table's matching semantics and, in the resource
+// model, the memory it consumes.
+type MatchKind uint8
+
+// Supported match kinds.
+const (
+	MatchExact   MatchKind = iota // SRAM exact match
+	MatchTernary                  // TCAM value/mask with priority
+	MatchRange                    // TCAM-expanded range match on one key
+)
+
+func (k MatchKind) String() string {
+	switch k {
+	case MatchExact:
+		return "exact"
+	case MatchTernary:
+		return "ternary"
+	case MatchRange:
+		return "range"
+	}
+	return "unknown"
+}
+
+// Table is a runtime match-action table. Entries are installed by the
+// control plane (switch CPU) and matched per packet by the pipeline.
+type Table struct {
+	Name string
+	Kind MatchKind
+	Keys []Field
+
+	// Default runs when no entry matches. Nil means no-op.
+	Default Action
+
+	// MaxEntries, when >0, bounds the table size as the compiler's
+	// resource allocation would; AddEntry fails beyond it.
+	MaxEntries int
+
+	exact   map[string]Action
+	ternary []ternaryEntry
+	ranges  []rangeEntry
+
+	// Hits and Misses count lookups for statistics and tests.
+	Hits, Misses uint64
+}
+
+type ternaryEntry struct {
+	value, mask []uint64
+	priority    int
+	action      Action
+}
+
+type rangeEntry struct {
+	lo, hi   uint64
+	priority int
+	action   Action
+}
+
+// NewTable constructs an empty table.
+func NewTable(name string, kind MatchKind, keys ...Field) *Table {
+	t := &Table{Name: name, Kind: kind, Keys: keys}
+	if kind == MatchExact {
+		t.exact = make(map[string]Action)
+	}
+	return t
+}
+
+// Size reports the number of installed entries.
+func (t *Table) Size() int {
+	switch t.Kind {
+	case MatchExact:
+		return len(t.exact)
+	case MatchTernary:
+		return len(t.ternary)
+	default:
+		return len(t.ranges)
+	}
+}
+
+func (t *Table) checkRoom() error {
+	if t.MaxEntries > 0 && t.Size() >= t.MaxEntries {
+		return fmt.Errorf("asic: table %s full (%d entries)", t.Name, t.MaxEntries)
+	}
+	return nil
+}
+
+func exactKey(values []uint64) string {
+	b := make([]byte, 8*len(values))
+	for i, v := range values {
+		binary.BigEndian.PutUint64(b[i*8:], v)
+	}
+	return string(b)
+}
+
+// AddExact installs an exact-match entry keyed on the given values (one per
+// key field, in Keys order).
+func (t *Table) AddExact(values []uint64, a Action) error {
+	if t.Kind != MatchExact {
+		return fmt.Errorf("asic: AddExact on %s table %s", t.Kind, t.Name)
+	}
+	if len(values) != len(t.Keys) {
+		return fmt.Errorf("asic: table %s wants %d key values, got %d", t.Name, len(t.Keys), len(values))
+	}
+	if err := t.checkRoom(); err != nil {
+		return err
+	}
+	t.exact[exactKey(values)] = a
+	return nil
+}
+
+// DeleteExact removes an exact entry; unknown keys are a no-op.
+func (t *Table) DeleteExact(values []uint64) {
+	if t.Kind == MatchExact {
+		delete(t.exact, exactKey(values))
+	}
+}
+
+// AddTernary installs a value/mask entry with a priority (higher wins).
+func (t *Table) AddTernary(value, mask []uint64, priority int, a Action) error {
+	if t.Kind != MatchTernary {
+		return fmt.Errorf("asic: AddTernary on %s table %s", t.Kind, t.Name)
+	}
+	if len(value) != len(t.Keys) || len(mask) != len(t.Keys) {
+		return fmt.Errorf("asic: table %s wants %d key values", t.Name, len(t.Keys))
+	}
+	if err := t.checkRoom(); err != nil {
+		return err
+	}
+	t.ternary = append(t.ternary, ternaryEntry{value: value, mask: mask, priority: priority, action: a})
+	sort.SliceStable(t.ternary, func(i, j int) bool { return t.ternary[i].priority > t.ternary[j].priority })
+	return nil
+}
+
+// AddRange installs a [lo,hi] entry on a single-key range table.
+func (t *Table) AddRange(lo, hi uint64, priority int, a Action) error {
+	if t.Kind != MatchRange {
+		return fmt.Errorf("asic: AddRange on %s table %s", t.Kind, t.Name)
+	}
+	if len(t.Keys) != 1 {
+		return fmt.Errorf("asic: range table %s must have exactly one key", t.Name)
+	}
+	if lo > hi {
+		return fmt.Errorf("asic: range table %s entry lo>hi", t.Name)
+	}
+	if err := t.checkRoom(); err != nil {
+		return err
+	}
+	t.ranges = append(t.ranges, rangeEntry{lo: lo, hi: hi, priority: priority, action: a})
+	sort.SliceStable(t.ranges, func(i, j int) bool { return t.ranges[i].priority > t.ranges[j].priority })
+	return nil
+}
+
+// DeleteTernary removes the first entry matching value/mask exactly.
+func (t *Table) DeleteTernary(value, mask []uint64) {
+	for i := range t.ternary {
+		if equalU64(t.ternary[i].value, value) && equalU64(t.ternary[i].mask, mask) {
+			t.ternary = append(t.ternary[:i], t.ternary[i+1:]...)
+			return
+		}
+	}
+}
+
+// DeleteRange removes the first [lo,hi] entry.
+func (t *Table) DeleteRange(lo, hi uint64) {
+	for i := range t.ranges {
+		if t.ranges[i].lo == lo && t.ranges[i].hi == hi {
+			t.ranges = append(t.ranges[:i], t.ranges[i+1:]...)
+			return
+		}
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply looks the PHV up and runs the matching action (or the default).
+// It reports whether an entry hit.
+func (t *Table) Apply(p *PHV) bool {
+	var keyBuf [4]uint64
+	keys := keyBuf[:0]
+	for _, f := range t.Keys {
+		keys = append(keys, f.Get(p))
+	}
+	var act Action
+	hit := false
+	switch t.Kind {
+	case MatchExact:
+		if a, ok := t.exact[exactKey(keys)]; ok {
+			act, hit = a, true
+		}
+	case MatchTernary:
+		for i := range t.ternary {
+			e := &t.ternary[i]
+			match := true
+			for j := range keys {
+				if keys[j]&e.mask[j] != e.value[j]&e.mask[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				act, hit = e.action, true
+				break
+			}
+		}
+	case MatchRange:
+		for i := range t.ranges {
+			e := &t.ranges[i]
+			if keys[0] >= e.lo && keys[0] <= e.hi {
+				act, hit = e.action, true
+				break
+			}
+		}
+	}
+	if hit {
+		t.Hits++
+	} else {
+		t.Misses++
+		act = t.Default
+	}
+	if act != nil {
+		act(p)
+	}
+	return hit
+}

@@ -1,0 +1,445 @@
+package asic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hypertester/hypertester/internal/netproto"
+)
+
+func udpPHV(t *testing.T, sport, dport uint16) *PHV {
+	t.Helper()
+	raw, err := netproto.BuildUDP(netproto.UDPSpec{
+		SrcIP: netproto.MustIPv4("10.0.0.1"), DstIP: netproto.MustIPv4("10.0.0.2"),
+		SrcPort: sport, DstPort: dport, FrameLen: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPHV(&netproto.Packet{Data: raw})
+}
+
+func tcpPHV(t *testing.T, sport, dport uint16, flags uint8) *PHV {
+	t.Helper()
+	raw, err := netproto.BuildTCP(netproto.TCPSpec{
+		SrcIP: netproto.MustIPv4("1.1.0.1"), DstIP: netproto.MustIPv4("9.9.9.9"),
+		SrcPort: sport, DstPort: dport, Flags: flags, FrameLen: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPHV(&netproto.Packet{Data: raw})
+}
+
+func TestExactTable(t *testing.T) {
+	tbl := NewTable("fwd", MatchExact, FieldUDPDstPort)
+	var hitPort uint64
+	if err := tbl.AddExact([]uint64{53}, func(p *PHV) { hitPort = 53; p.EgressPort = 7 }); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Default = func(p *PHV) { p.Drop = true }
+
+	p := udpPHV(t, 1000, 53)
+	if !tbl.Apply(p) {
+		t.Fatal("expected hit")
+	}
+	if hitPort != 53 || p.EgressPort != 7 {
+		t.Fatalf("action did not run: port=%d egress=%d", hitPort, p.EgressPort)
+	}
+
+	p2 := udpPHV(t, 1000, 80)
+	if tbl.Apply(p2) {
+		t.Fatal("expected miss")
+	}
+	if !p2.Drop {
+		t.Fatal("default action did not run")
+	}
+	if tbl.Hits != 1 || tbl.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", tbl.Hits, tbl.Misses)
+	}
+}
+
+func TestExactTableMultiKey(t *testing.T) {
+	tbl := NewTable("pair", MatchExact, FieldUDPSrcPort, FieldUDPDstPort)
+	matched := false
+	if err := tbl.AddExact([]uint64{1000, 53}, func(p *PHV) { matched = true }); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Apply(udpPHV(t, 1000, 53))
+	if !matched {
+		t.Fatal("multi-key exact entry missed")
+	}
+	matched = false
+	tbl.Apply(udpPHV(t, 53, 1000)) // swapped must not match
+	if matched {
+		t.Fatal("swapped key matched")
+	}
+}
+
+func TestExactTableKeyArityChecked(t *testing.T) {
+	tbl := NewTable("pair", MatchExact, FieldUDPSrcPort, FieldUDPDstPort)
+	if err := tbl.AddExact([]uint64{1}, nil); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestTableCapacity(t *testing.T) {
+	tbl := NewTable("small", MatchExact, FieldUDPDstPort)
+	tbl.MaxEntries = 2
+	if err := tbl.AddExact([]uint64{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddExact([]uint64{2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddExact([]uint64{3}, nil); err == nil {
+		t.Fatal("overflow insert accepted")
+	}
+	tbl.DeleteExact([]uint64{1})
+	if err := tbl.AddExact([]uint64{3}, nil); err != nil {
+		t.Fatalf("insert after delete failed: %v", err)
+	}
+}
+
+func TestTernaryPriority(t *testing.T) {
+	tbl := NewTable("acl", MatchTernary, FieldTCPFlags)
+	var got string
+	// Low priority: any packet.
+	if err := tbl.AddTernary([]uint64{0}, []uint64{0}, 1, func(p *PHV) { got = "any" }); err != nil {
+		t.Fatal(err)
+	}
+	// High priority: SYN set (masked match on the SYN bit).
+	syn := uint64(netproto.TCPSyn)
+	if err := tbl.AddTernary([]uint64{syn}, []uint64{syn}, 10, func(p *PHV) { got = "syn" }); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Apply(tcpPHV(t, 1, 2, netproto.TCPSyn|netproto.TCPAck))
+	if got != "syn" {
+		t.Fatalf("got %q, want syn (priority order)", got)
+	}
+	tbl.Apply(tcpPHV(t, 1, 2, netproto.TCPAck))
+	if got != "any" {
+		t.Fatalf("got %q, want any", got)
+	}
+}
+
+func TestTernaryWrongKind(t *testing.T) {
+	tbl := NewTable("x", MatchExact, FieldTCPFlags)
+	if err := tbl.AddTernary([]uint64{0}, []uint64{0}, 0, nil); err == nil {
+		t.Fatal("AddTernary on exact table accepted")
+	}
+	tbl2 := NewTable("y", MatchTernary, FieldTCPFlags)
+	if err := tbl2.AddExact([]uint64{0}, nil); err == nil {
+		t.Fatal("AddExact on ternary table accepted")
+	}
+}
+
+func TestRangeTable(t *testing.T) {
+	tbl := NewTable("ports", MatchRange, FieldTCPDstPort)
+	var got string
+	if err := tbl.AddRange(80, 90, 1, func(p *PHV) { got = "web" }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRange(85, 85, 10, func(p *PHV) { got = "special" }); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Apply(tcpPHV(t, 1, 82, 0))
+	if got != "web" {
+		t.Fatalf("got %q", got)
+	}
+	tbl.Apply(tcpPHV(t, 1, 85, 0))
+	if got != "special" {
+		t.Fatalf("got %q, want special (priority)", got)
+	}
+	if tbl.Apply(tcpPHV(t, 1, 100, 0)) {
+		t.Fatal("out-of-range value matched")
+	}
+	if err := tbl.AddRange(9, 3, 0, nil); err == nil {
+		t.Fatal("lo>hi range accepted")
+	}
+}
+
+func TestRangeTableSingleKeyOnly(t *testing.T) {
+	tbl := NewTable("bad", MatchRange, FieldTCPDstPort, FieldTCPSrcPort)
+	if err := tbl.AddRange(1, 2, 0, nil); err == nil {
+		t.Fatal("multi-key range table accepted")
+	}
+}
+
+func TestGateway(t *testing.T) {
+	var path string
+	g := &Gateway{
+		Cond: func(p *PHV) bool { return FieldTCPFlags.Get(p)&uint64(netproto.TCPSyn) != 0 },
+		Then: []Processor{ProcessorFunc(func(p *PHV) { path = "then" })},
+		Else: []Processor{ProcessorFunc(func(p *PHV) { path = "else" })},
+	}
+	g.Process(tcpPHV(t, 1, 2, netproto.TCPSyn))
+	if path != "then" {
+		t.Fatal("then branch not taken")
+	}
+	g.Process(tcpPHV(t, 1, 2, netproto.TCPAck))
+	if path != "else" {
+		t.Fatal("else branch not taken")
+	}
+}
+
+func TestPipelineStopsOnDrop(t *testing.T) {
+	pl := NewPipeline("test")
+	ran := 0
+	pl.Add(ProcessorFunc(func(p *PHV) { ran++; p.Drop = true }))
+	pl.Add(ProcessorFunc(func(p *PHV) { ran++ }))
+	pl.Run(udpPHV(t, 1, 2))
+	if ran != 1 {
+		t.Fatalf("stages ran after drop: %d", ran)
+	}
+	if pl.Packets != 1 {
+		t.Fatalf("Packets = %d", pl.Packets)
+	}
+}
+
+func TestRegisterRMW(t *testing.T) {
+	r := NewRegisterArray("ctr", 4)
+	out := r.RMW(2, func(old uint64) (uint64, uint64) { return old + 5, old })
+	if out != 0 {
+		t.Fatalf("first RMW out = %d, want 0 (old value)", out)
+	}
+	if r.Read(2) != 5 {
+		t.Fatalf("cell = %d, want 5", r.Read(2))
+	}
+	if r.Accesses != 2 {
+		t.Fatalf("accesses = %d, want 2", r.Accesses)
+	}
+	r.Write(0, 9)
+	snap := r.Snapshot(0, 4)
+	if snap[0] != 9 || snap[2] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	r.Write(0, 10)
+	if snap[0] != 9 {
+		t.Fatal("snapshot aliases live cells")
+	}
+	r.Reset()
+	if r.Read(2) != 0 {
+		t.Fatal("Reset did not zero cells")
+	}
+}
+
+func TestRegisterOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range register access did not panic")
+		}
+	}()
+	NewRegisterArray("x", 2).Read(5)
+}
+
+func TestHashUnitsIndependent(t *testing.T) {
+	h1 := NewHashUnit("h1", PolyCRC32)
+	h2 := NewHashUnit("h2", PolyCRC32C)
+	data := []byte("the same key bytes")
+	if h1.Sum(data) == h2.Sum(data) {
+		t.Fatal("different polynomials produced identical sums")
+	}
+	if h1.Sum(data) != h1.Sum(data) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestHashKnownCRC32(t *testing.T) {
+	// CRC-32 of "123456789" is the classic check value 0xCBF43926.
+	h := NewHashUnit("crc32", PolyCRC32)
+	if got := h.Sum([]byte("123456789")); got != 0xCBF43926 {
+		t.Fatalf("crc32 check = %#x, want 0xCBF43926", got)
+	}
+}
+
+func TestHashDigestWidth(t *testing.T) {
+	h := NewHashUnit("d", PolyCRC32)
+	d := h.Digest([]byte("key"), 16)
+	if d > 0xffff {
+		t.Fatalf("16-bit digest out of range: %#x", d)
+	}
+	if h.Digest([]byte("key"), 32) != h.Sum([]byte("key")) {
+		t.Fatal("32-bit digest must equal full sum")
+	}
+	idx := h.Index([]byte("key"), 100)
+	if idx < 0 || idx >= 100 {
+		t.Fatalf("index out of range: %d", idx)
+	}
+}
+
+func TestFieldGetSetRoundTrip(t *testing.T) {
+	p := tcpPHV(t, 1111, 2222, netproto.TCPSyn)
+	fields := map[Field]uint64{
+		FieldIPv4Src:    0x0a000001,
+		FieldIPv4Dst:    0x0a000002,
+		FieldIPv4TTL:    13,
+		FieldTCPSrcPort: 4096,
+		FieldTCPDstPort: 80,
+		FieldTCPSeq:     99999,
+		FieldTCPAck:     12,
+		FieldTCPFlags:   uint64(netproto.TCPSyn | netproto.TCPAck),
+		FieldEthSrc:     0x112233445566,
+	}
+	for f, v := range fields {
+		f.Set(p, v)
+		if got := f.Get(p); got != v {
+			t.Errorf("%v: get after set = %#x, want %#x", f, got, v)
+		}
+	}
+	if !p.Dirty {
+		t.Fatal("Set did not mark PHV dirty")
+	}
+}
+
+func TestFieldByName(t *testing.T) {
+	cases := map[string]Field{
+		"ipv4.dip":  FieldIPv4Dst,
+		"dip":       FieldIPv4Dst,
+		"sport":     FieldL4SrcPort,
+		"tcp_flag":  FieldTCPFlags,
+		"seq_no":    FieldTCPSeq,
+		"pkt_len":   FieldPktLen,
+		"udp.dport": FieldUDPDstPort,
+	}
+	for name, want := range cases {
+		got, err := FieldByName(name)
+		if err != nil || got != want {
+			t.Errorf("FieldByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := FieldByName("nope.nope"); err == nil {
+		t.Fatal("unknown field resolved")
+	}
+}
+
+func TestFieldWidthsAndMax(t *testing.T) {
+	if FieldTCPSrcPort.Width() != 16 || FieldTCPSrcPort.MaxValue() != 65535 {
+		t.Fatal("tcp.sport width/max wrong")
+	}
+	if FieldIPv4Src.MaxValue() != 0xffffffff {
+		t.Fatal("ipv4.sip max wrong")
+	}
+	if FieldEthSrc.MaxValue() != 1<<48-1 {
+		t.Fatal("eth.src max wrong")
+	}
+}
+
+func TestPHVDeparseRewritesWire(t *testing.T) {
+	p := tcpPHV(t, 1111, 80, netproto.TCPSyn)
+	FieldIPv4Dst.Set(p, uint64(netproto.MustIPv4("99.99.99.99")))
+	FieldTCPDstPort.Set(p, 443)
+	FieldTCPSeq.Set(p, 777)
+	p.Deparse()
+
+	var s netproto.Stack
+	if err := s.Decode(p.Pkt.Data); err != nil {
+		t.Fatal(err)
+	}
+	if s.IP4.Dst != netproto.MustIPv4("99.99.99.99") {
+		t.Fatalf("dst = %v", s.IP4.Dst)
+	}
+	if s.TCP.DstPort != 443 || s.TCP.Seq != 777 {
+		t.Fatalf("tcp = %+v", s.TCP)
+	}
+	// Checksums must be valid after rewrite.
+	if !s.IP4.VerifyChecksum(p.Pkt.Data[netproto.EthernetLen:]) {
+		t.Fatal("IPv4 checksum invalid after deparse")
+	}
+	if len(p.Pkt.Data) != 64 {
+		t.Fatalf("deparse changed frame length: %d", len(p.Pkt.Data))
+	}
+}
+
+func TestPHVDeparseUDPChecksum(t *testing.T) {
+	p := udpPHV(t, 5000, 53)
+	FieldUDPDstPort.Set(p, 123)
+	p.Deparse()
+	var s netproto.Stack
+	if err := s.Decode(p.Pkt.Data); err != nil {
+		t.Fatal(err)
+	}
+	if s.UDP.DstPort != 123 {
+		t.Fatalf("udp dport = %d", s.UDP.DstPort)
+	}
+	// Verify the UDP checksum over the rewritten datagram.
+	off := netproto.EthernetLen + netproto.IPv4MinLen
+	seg := p.Pkt.Data[off : off+int(s.UDP.Length)]
+	sum := pseudoSum(s.IP4.Src, s.IP4.Dst, netproto.IPProtoUDP, len(seg))
+	if foldSum(addBytes(sum, seg)) != 0 {
+		t.Fatal("UDP checksum invalid after deparse")
+	}
+}
+
+func TestPHVDeparseNoopWhenClean(t *testing.T) {
+	p := udpPHV(t, 1, 2)
+	before := string(p.Pkt.Data)
+	p.Deparse()
+	if string(p.Pkt.Data) != before {
+		t.Fatal("clean deparse rewrote bytes")
+	}
+}
+
+func TestTernaryAndRangeDelete(t *testing.T) {
+	tbl := NewTable("acl", MatchTernary, FieldTCPFlags)
+	syn := uint64(netproto.TCPSyn)
+	hit := false
+	if err := tbl.AddTernary([]uint64{syn}, []uint64{syn}, 1, func(p *PHV) { hit = true }); err != nil {
+		t.Fatal(err)
+	}
+	tbl.DeleteTernary([]uint64{syn}, []uint64{syn})
+	tbl.Apply(tcpPHV(t, 1, 2, netproto.TCPSyn))
+	if hit {
+		t.Fatal("deleted ternary entry still matches")
+	}
+	tbl.DeleteTernary([]uint64{99}, []uint64{99}) // unknown: no-op
+
+	rt := NewTable("ports", MatchRange, FieldTCPDstPort)
+	if err := rt.AddRange(80, 90, 1, func(p *PHV) { hit = true }); err != nil {
+		t.Fatal(err)
+	}
+	rt.DeleteRange(80, 90)
+	if rt.Apply(tcpPHV(t, 1, 85, 0)) {
+		t.Fatal("deleted range entry still matches")
+	}
+	rt.DeleteRange(1, 2) // unknown: no-op
+}
+
+// Property: any in-range field writes survive deparse -> re-decode, and the
+// rewritten packet's checksums verify.
+func TestDeparseRoundTripProperty(t *testing.T) {
+	f := func(sip, dip uint32, sport, dport uint16, seq, ack uint32, flags uint8, ttl uint8) bool {
+		p := tcpPHV(t, 1, 2, netproto.TCPSyn)
+		if ttl == 0 {
+			ttl = 1
+		}
+		writes := map[Field]uint64{
+			FieldIPv4Src:    uint64(sip),
+			FieldIPv4Dst:    uint64(dip),
+			FieldIPv4TTL:    uint64(ttl),
+			FieldTCPSrcPort: uint64(sport),
+			FieldTCPDstPort: uint64(dport),
+			FieldTCPSeq:     uint64(seq),
+			FieldTCPAck:     uint64(ack),
+			FieldTCPFlags:   uint64(flags & 0x3f),
+		}
+		for fld, v := range writes {
+			fld.Set(p, v)
+		}
+		p.Deparse()
+		var s netproto.Stack
+		if err := s.Decode(p.Pkt.Data); err != nil {
+			return false
+		}
+		reparsed := NewPHV(p.Pkt)
+		for fld, v := range writes {
+			if fld.Get(reparsed) != v {
+				return false
+			}
+		}
+		return s.IP4.VerifyChecksum(p.Pkt.Data[netproto.EthernetLen:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

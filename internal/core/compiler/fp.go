@@ -1,0 +1,88 @@
+package compiler
+
+import (
+	"encoding/binary"
+
+	"github.com/hypertester/hypertester/internal/asic"
+)
+
+// CuckooSlots computes a key's two candidate slots and its stored digest
+// under partial-key cuckoo hashing (Fan et al., the paper's [70]): the
+// alternate slot derives from the primary slot and the digest alone, so the
+// data plane can relocate an entry knowing only what the cell stores.
+// arraySize must be a power of two.
+//
+// This function is the single source of truth shared by the compiler's
+// false-positive precomputation and the runtime's counter table — they must
+// agree bit-for-bit or precomputed exact entries would not cover runtime
+// collisions.
+func CuckooSlots(key []byte, arraySize, digestBits int, h1, hd, halt *asic.HashUnit) (idx1, idx2 int, digest uint32) {
+	mask := arraySize - 1
+	digest = hd.Digest(key, digestBits)
+	if digest == 0 {
+		digest = 1 // zero marks an empty cell
+	}
+	idx1 = int(h1.Sum(key)) & mask
+	var db [4]byte
+	binary.BigEndian.PutUint32(db[:], digest)
+	idx2 = (idx1 ^ int(halt.Sum(db[:]))) & mask
+	return idx1, idx2, digest
+}
+
+// AltSlot returns the other candidate slot for an entry, from the slot it
+// occupies and its digest — the relocation step of partial-key cuckoo.
+func AltSlot(idx int, digest uint32, arraySize int, halt *asic.HashUnit) int {
+	var db [4]byte
+	binary.BigEndian.PutUint32(db[:], digest)
+	return (idx ^ int(halt.Sum(db[:]))) & (arraySize - 1)
+}
+
+// ComputeExactKeys finds the key tuples that would collide in the runtime's
+// counter table — a candidate slot and stored digest equal to an earlier
+// key's — and therefore need entries in the exact-key-matching table to keep
+// reduce/distinct free of false positives (§5.2, Fig. 17).
+//
+// For each colliding pair only the later key needs an exact entry: lookups
+// for it would otherwise hit the earlier key's (slot, digest) cell.
+func ComputeExactKeys(tuples [][]uint64, arraySize, digestBits int, polyA1, polyA2, polyDigest uint32) [][]uint64 {
+	h1 := asic.NewHashUnit("fp-a1", polyA1)
+	halt := asic.NewHashUnit("fp-alt", polyA2)
+	hd := asic.NewHashUnit("fp-digest", polyDigest)
+
+	type cell struct {
+		slot   uint32
+		digest uint32
+	}
+	owner := make(map[cell]int, 2*len(tuples))
+	needExact := map[int]bool{}
+
+	for i, t := range tuples {
+		k := EncodeKey(t)
+		idx1, idx2, d := CuckooSlots(k, arraySize, digestBits, h1, hd, halt)
+		for _, c := range [2]cell{{uint32(idx1), d}, {uint32(idx2), d}} {
+			if _, taken := owner[c]; taken {
+				needExact[i] = true
+			} else {
+				owner[c] = i
+			}
+		}
+	}
+
+	out := make([][]uint64, 0, len(needExact))
+	for i := range tuples {
+		if needExact[i] {
+			out = append(out, tuples[i])
+		}
+	}
+	return out
+}
+
+// EncodeKey serializes a key tuple into hash-input bytes, the canonical
+// form shared by the compiler's precomputation and the runtime's lookups.
+func EncodeKey(t []uint64) []byte {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.BigEndian.PutUint64(b[i*8:], v)
+	}
+	return b
+}

@@ -1,0 +1,345 @@
+package compiler
+
+import (
+	"fmt"
+
+	"github.com/hypertester/hypertester/internal/asic"
+	"github.com/hypertester/hypertester/internal/core/ntapi"
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/p4ir"
+)
+
+// generateP4 renders the compiled program as a p4ir.Program, mirroring the
+// structures the runtime deploys: the accelerator, one replicator per
+// template, editor tables per modification, and the counter-based query
+// machinery. Table 5 counts this program's lines; Table 7 prices it.
+func generateP4(prog *Program, opts Options) *p4ir.Program {
+	p := &p4ir.Program{Name: prog.Task.Name}
+
+	headers := map[string]bool{"ethernet": true, "ipv4": true}
+	for _, tmpl := range prog.Templates {
+		phv := asic.NewPHV(tmpl.Packet.Clone())
+		if phv.Has(netproto.LayerTCP) {
+			headers["tcp"] = true
+		}
+		if phv.Has(netproto.LayerUDP) {
+			headers["udp"] = true
+		}
+	}
+	for _, h := range []string{"ethernet", "ipv4", "tcp", "udp"} {
+		if headers[h] {
+			p.Headers = append(p.Headers, h)
+		}
+	}
+
+	if len(prog.Templates) > 0 {
+		genAccelerator(p, prog)
+	}
+	for _, tmpl := range prog.Templates {
+		genReplicator(p, tmpl)
+		genEditor(p, tmpl)
+	}
+	for _, q := range prog.Queries {
+		genQuery(p, q)
+	}
+	return p
+}
+
+// genAccelerator emits the shared template-recirculation machinery (§5.1).
+func genAccelerator(p *p4ir.Program, prog *Program) {
+	p.AddRegister(&p4ir.RegisterDef{Name: "accel_inflight", Width: 32, Size: 64})
+	p.AddAction(&p4ir.ActionDef{Name: "accel_recirculate", Ops: []p4ir.Op{
+		{Kind: p4ir.OpRegisterRMW, Dst: "accel_inflight", Src: "+1", Bits: 32},
+		{Kind: p4ir.OpRecirculate, Dst: "recirc_port"},
+	}})
+	p.AddTable(&p4ir.TableDef{
+		Name: "accelerator", Pipeline: p4ir.PipeIngress, Match: p4ir.MatchExact,
+		Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
+		Actions: []string{"accel_recirculate"},
+		Size:    len(prog.Templates),
+	})
+	p.Ingress = append(p.Ingress, p4ir.ControlStmt{
+		If:   "meta.template_id != 0",
+		Then: []p4ir.ControlStmt{{Apply: "accelerator"}},
+	})
+}
+
+// genReplicator emits one template's timer + multicast logic (§5.1).
+func genReplicator(p *p4ir.Program, tmpl *Template) {
+	timer := fmt.Sprintf("repl_timer_%d", tmpl.ID)
+	act := fmt.Sprintf("repl_fire_%d", tmpl.ID)
+	tbl := fmt.Sprintf("replicator_%d", tmpl.ID)
+	p.AddRegister(&p4ir.RegisterDef{Name: timer, Width: 64, Size: 1})
+	ops := []p4ir.Op{
+		{Kind: p4ir.OpRegisterRMW, Dst: timer, Src: "now - last >= interval", Bits: 64},
+		{Kind: p4ir.OpMulticast, Dst: "ig_intr_md.mcast_grp", Src: fmt.Sprintf("%d", tmpl.ID)},
+	}
+	if tmpl.LoopPackets > 0 {
+		cnt := fmt.Sprintf("repl_count_%d", tmpl.ID)
+		p.AddRegister(&p4ir.RegisterDef{Name: cnt, Width: 64, Size: 1})
+		ops = append(ops, p4ir.Op{Kind: p4ir.OpRegisterRMW, Dst: cnt, Src: "+1", Bits: 64})
+	}
+	p.AddAction(&p4ir.ActionDef{Name: act, Ops: ops})
+	p.AddTable(&p4ir.TableDef{
+		Name: tbl, Pipeline: p4ir.PipeIngress, Match: p4ir.MatchExact,
+		Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
+		Actions: []string{act},
+		Size:    1,
+	})
+	p.Ingress = append(p.Ingress, p4ir.ControlStmt{
+		If:   fmt.Sprintf("meta.template_id == %d", tmpl.ID),
+		Then: []p4ir.ControlStmt{{Apply: tbl}},
+	})
+}
+
+// genEditor emits the egress field-modification tables (§5.1): packet-ID
+// register plus one table or action per modification.
+func genEditor(p *p4ir.Program, tmpl *Template) {
+	if len(tmpl.Mods) == 0 {
+		return
+	}
+	pktID := fmt.Sprintf("editor_pktid_%d", tmpl.ID)
+	p.AddRegister(&p4ir.RegisterDef{Name: pktID, Width: 32, Size: 1})
+	bump := fmt.Sprintf("editor_bump_%d", tmpl.ID)
+	p.AddAction(&p4ir.ActionDef{Name: bump, Ops: []p4ir.Op{
+		{Kind: p4ir.OpRegisterRMW, Dst: pktID, Src: "+1", Bits: 32},
+	}})
+	bumpTbl := fmt.Sprintf("editor_pktid_tbl_%d", tmpl.ID)
+	p.AddTable(&p4ir.TableDef{
+		Name: bumpTbl, Pipeline: p4ir.PipeEgress, Match: p4ir.MatchExact,
+		Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
+		Actions: []string{bump},
+		Size:    1,
+	})
+	stmts := []p4ir.ControlStmt{{Apply: bumpTbl}}
+
+	// Stateless templates pop their whole trigger record with a single
+	// wide register access shared by every record-stamping modification.
+	if tmpl.FromQueryID != 0 {
+		pop := fmt.Sprintf("editor_pop_record_%d", tmpl.ID)
+		p.AddAction(&p4ir.ActionDef{Name: pop, Ops: []p4ir.Op{
+			{Kind: p4ir.OpRegisterRMW, Dst: "trigger_fifo", Src: "pop", Bits: 64},
+		}})
+		p.AddRegisterOnce(&p4ir.RegisterDef{Name: "trigger_fifo", Width: 64, Size: 4096})
+		popTbl := fmt.Sprintf("editor_pop_tbl_%d", tmpl.ID)
+		p.AddTable(&p4ir.TableDef{
+			Name: popTbl, Pipeline: p4ir.PipeEgress, Match: p4ir.MatchExact,
+			Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
+			Actions: []string{pop},
+			Size:    1,
+		})
+		stmts = append(stmts, p4ir.ControlStmt{Apply: popTbl})
+	}
+
+	for i := range tmpl.Mods {
+		m := &tmpl.Mods[i]
+		base := fmt.Sprintf("editor_%d_%d", tmpl.ID, i)
+		switch m.Kind {
+		case ModList:
+			act := base + "_set"
+			p.AddAction(&p4ir.ActionDef{Name: act, Ops: []p4ir.Op{
+				{Kind: p4ir.OpModifyField, Dst: m.Field.Name(), Src: "value[pkt_id]", Bits: m.Field.Width()},
+			}})
+			p.AddTable(&p4ir.TableDef{
+				Name: base + "_list", Pipeline: p4ir.PipeEgress, Match: p4ir.MatchExact,
+				Keys:    []p4ir.KeyDef{{Field: "pkt_id", Bits: 32}},
+				Actions: []string{act},
+				Size:    len(m.List),
+			})
+			stmts = append(stmts, p4ir.ControlStmt{Apply: base + "_list"})
+		case ModProgression:
+			reg := base + "_prog"
+			act := base + "_step"
+			p.AddRegister(&p4ir.RegisterDef{Name: reg, Width: int(min64(64, uint64(m.Field.Width()+1))), Size: 1})
+			p.AddAction(&p4ir.ActionDef{Name: act, Ops: []p4ir.Op{
+				{Kind: p4ir.OpRegisterRMW, Dst: reg, Src: fmt.Sprintf("+%d wrap %d", m.Step, m.End), Bits: m.Field.Width()},
+				{Kind: p4ir.OpModifyField, Dst: m.Field.Name(), Src: reg, Bits: m.Field.Width()},
+			}})
+			p.AddTable(&p4ir.TableDef{
+				Name: base + "_prog_tbl", Pipeline: p4ir.PipeEgress, Match: p4ir.MatchExact,
+				Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
+				Actions: []string{act},
+				Size:    1,
+			})
+			stmts = append(stmts, p4ir.ControlStmt{Apply: base + "_prog_tbl"})
+		case ModRandom:
+			// Two-table inverse transform (§5.1): draw, then look up.
+			draw := base + "_draw"
+			p.AddAction(&p4ir.ActionDef{Name: draw, Ops: []p4ir.Op{
+				{Kind: p4ir.OpRandom, Dst: "meta.rand", Src: fmt.Sprintf("0..2^%d", m.RandBits), Bits: m.RandBits},
+			}})
+			p.AddTable(&p4ir.TableDef{
+				Name: base + "_rng", Pipeline: p4ir.PipeEgress, Match: p4ir.MatchExact,
+				Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
+				Actions: []string{draw},
+				Size:    1,
+			})
+			lookup := base + "_inv"
+			p.AddAction(&p4ir.ActionDef{Name: lookup, Ops: []p4ir.Op{
+				{Kind: p4ir.OpModifyField, Dst: m.Field.Name(), Src: "inv_cdf[bucket]", Bits: m.Field.Width()},
+			}})
+			p.AddTable(&p4ir.TableDef{
+				Name: base + "_inv_tbl", Pipeline: p4ir.PipeEgress, Match: p4ir.MatchExact,
+				Keys:    []p4ir.KeyDef{{Field: "meta.rand_bucket", Bits: 16}},
+				Actions: []string{lookup},
+				Size:    len(m.InvTable),
+			})
+			stmts = append(stmts,
+				p4ir.ControlStmt{Apply: base + "_rng"},
+				p4ir.ControlStmt{Apply: base + "_inv_tbl"})
+		case ModFromRecord:
+			// The record was popped once above; stamping is a plain
+			// field move from PHV metadata.
+			act := base + "_stamp"
+			p.AddAction(&p4ir.ActionDef{Name: act, Ops: []p4ir.Op{
+				{Kind: p4ir.OpModifyField, Dst: m.Field.Name(), Src: "record." + m.RecordField.Name(), Bits: m.Field.Width()},
+			}})
+			p.AddTable(&p4ir.TableDef{
+				Name: base + "_rec_tbl", Pipeline: p4ir.PipeEgress, Match: p4ir.MatchExact,
+				Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
+				Actions: []string{act},
+				Size:    1,
+			})
+			stmts = append(stmts, p4ir.ControlStmt{Apply: base + "_rec_tbl"})
+		}
+	}
+
+	p.Egress = append(p.Egress, p4ir.ControlStmt{
+		If:   fmt.Sprintf("meta.template_id == %d and eg_intr_md.rid != 0", tmpl.ID),
+		Then: stmts,
+	})
+}
+
+// genQuery emits a query's filter gateways and, for reduce/distinct, the
+// counter-table machinery (§5.2): cuckoo register arrays, KV FIFO, exact
+// key matching and digest reporting.
+func genQuery(p *p4ir.Program, q *QueryPlan) {
+	pipe := p4ir.PipeIngress
+	ctl := &p.Ingress
+	if q.Egress {
+		pipe = p4ir.PipeEgress
+		ctl = &p.Egress
+	}
+	base := fmt.Sprintf("query_%d", q.ID)
+
+	var inner []p4ir.ControlStmt
+	if q.Kind == ntapi.KindDelay {
+		// State-based delay: a timestamp register keyed by a hash of the
+		// key fields, written at egress and read+cleared at ingress.
+		act := base + "_delay"
+		p.AddRegister(&p4ir.RegisterDef{Name: base + "_ts_store", Width: 48, Size: q.ArraySize})
+		p.AddAction(&p4ir.ActionDef{Name: act, Ops: []p4ir.Op{
+			{Kind: p4ir.OpHash, Dst: "meta.delay_idx", Src: "key", Bits: 16},
+			{Kind: p4ir.OpRegisterRMW, Dst: base + "_ts_store", Src: "store-or-diff", Bits: 48},
+		}})
+		p.AddTable(&p4ir.TableDef{
+			Name: base + "_delay_tbl", Pipeline: pipe, Match: p4ir.MatchExact,
+			Keys:    []p4ir.KeyDef{{Field: "meta.one", Bits: 1}},
+			Actions: []string{act},
+			Size:    1,
+		})
+		inner = []p4ir.ControlStmt{{Apply: base + "_delay_tbl"}}
+		stmt := p4ir.ControlStmt{If: "true", Then: inner}
+		for i := len(q.Filters) - 1; i >= 0; i-- {
+			f := q.Filters[i]
+			stmt = p4ir.ControlStmt{
+				If:   fmt.Sprintf("%s %s %d", f.Field.Name(), f.Op, f.Value),
+				Then: []p4ir.ControlStmt{stmt},
+			}
+		}
+		*ctl = append(*ctl, stmt)
+		return
+	}
+	if q.Kind == ntapi.KindReduce || q.Kind == ntapi.KindDistinct {
+		keyBits := 0
+		var keys []p4ir.KeyDef
+		for _, k := range q.Keys {
+			keys = append(keys, p4ir.KeyDef{Field: k.Name(), Bits: k.Width()})
+			keyBits += k.Width()
+		}
+
+		// Exact key matching table (precomputed false positives).
+		exactAct := base + "_exact_count"
+		p.AddAction(&p4ir.ActionDef{Name: exactAct, Ops: []p4ir.Op{
+			{Kind: p4ir.OpRegisterRMW, Dst: base + "_exact_ctrs", Src: "agg", Bits: 64},
+		}})
+		exactSize := len(q.ExactKeys)
+		if exactSize == 0 {
+			exactSize = 64 // allocation floor for runtime additions
+		}
+		p.AddRegister(&p4ir.RegisterDef{Name: base + "_exact_ctrs", Width: 64, Size: exactSize})
+		p.AddTable(&p4ir.TableDef{
+			Name: base + "_exact", Pipeline: pipe, Match: p4ir.MatchExact,
+			Keys: keys, Actions: []string{exactAct}, Size: exactSize,
+		})
+
+		// Cuckoo arrays: digest + counter per slot, two arrays.
+		cellBits := q.DigestBits + 64
+		p.AddRegister(&p4ir.RegisterDef{Name: base + "_array1", Width: cellBits, Size: q.ArraySize})
+		p.AddRegister(&p4ir.RegisterDef{Name: base + "_array2", Width: cellBits, Size: q.ArraySize})
+		// KV FIFO (§6.1's Figure 7 implementation).
+		p.AddRegister(&p4ir.RegisterDef{Name: base + "_fifo", Width: keyBits + 64, Size: 1024})
+		p.AddRegister(&p4ir.RegisterDef{Name: base + "_fifo_ptrs", Width: 32, Size: 2})
+
+		cuckooAct := base + "_cuckoo"
+		p.AddAction(&p4ir.ActionDef{Name: cuckooAct, Ops: []p4ir.Op{
+			{Kind: p4ir.OpHash, Dst: "meta.idx1", Src: "key", Bits: 16},
+			{Kind: p4ir.OpHash, Dst: "meta.idx2", Src: "key", Bits: 16},
+			{Kind: p4ir.OpHash, Dst: "meta.digest", Src: "key", Bits: q.DigestBits},
+			{Kind: p4ir.OpRegisterRMW, Dst: base + "_array1", Src: "match-or-insert", Bits: cellBits},
+			{Kind: p4ir.OpRegisterRMW, Dst: base + "_array2", Src: "match-or-insert", Bits: cellBits},
+			{Kind: p4ir.OpRegisterRMW, Dst: base + "_fifo_ptrs", Src: "push", Bits: 32},
+			{Kind: p4ir.OpGenerateDigest, Dst: "evictions"},
+		}})
+		cuckooTbl := base + "_counter"
+		p.AddTable(&p4ir.TableDef{
+			Name: cuckooTbl, Pipeline: pipe, Match: p4ir.MatchExact,
+			Keys:    []p4ir.KeyDef{{Field: "meta.one", Bits: 1}},
+			Actions: []string{cuckooAct},
+			Size:    1,
+		})
+		inner = []p4ir.ControlStmt{
+			{Apply: base + "_exact"},
+			{Apply: cuckooTbl},
+		}
+	} else {
+		capAct := base + "_record"
+		ops := []p4ir.Op{{Kind: p4ir.OpRegisterRMW, Dst: base + "_count", Src: "+1", Bits: 64}}
+		if q.TriggerTemplateID != 0 {
+			ops = append(ops, p4ir.Op{Kind: p4ir.OpRegisterRMW, Dst: "trigger_fifo", Src: "push record", Bits: 64})
+			p.AddRegisterOnce(&p4ir.RegisterDef{Name: "trigger_fifo", Width: 64, Size: 4096})
+		}
+		p.AddAction(&p4ir.ActionDef{Name: capAct, Ops: ops})
+		p.AddRegister(&p4ir.RegisterDef{Name: base + "_count", Width: 64, Size: 1})
+		p.AddTable(&p4ir.TableDef{
+			Name: base + "_capture", Pipeline: pipe, Match: p4ir.MatchExact,
+			Keys:    []p4ir.KeyDef{{Field: "meta.one", Bits: 1}},
+			Actions: []string{capAct},
+			Size:    1,
+		})
+		inner = []p4ir.ControlStmt{{Apply: base + "_capture"}}
+	}
+
+	// Filter chain as nested gateways.
+	stmt := p4ir.ControlStmt{If: "true", Then: inner}
+	for i := len(q.Filters) - 1; i >= 0; i-- {
+		f := q.Filters[i]
+		stmt = p4ir.ControlStmt{
+			If:   fmt.Sprintf("%s %s %d", f.Field.Name(), f.Op, f.Value),
+			Then: []p4ir.ControlStmt{stmt},
+		}
+	}
+	*ctl = append(*ctl, stmt)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// estimateResources prices the generated program.
+func estimateResources(prog *Program) p4ir.Resources {
+	return p4ir.Estimate(prog.P4)
+}

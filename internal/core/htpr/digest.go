@@ -1,0 +1,55 @@
+package htpr
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Digest-message codec for push-mode eviction reporting (§5.2: "report the
+// KV pairs to the switch CPU via generate_digest"). A message carries the
+// query ID, the key tuple and the partial aggregate; the switch CPU decodes
+// and merges it. Messages ride the rate-limited digest channel, so heavy
+// eviction churn genuinely consumes the Fig. 16a budget.
+
+// evictionMagic guards against decoding foreign digest messages.
+const evictionMagic = 0x4855 // "HU"
+
+// EncodeEviction serializes one evicted entry.
+func EncodeEviction(queryID int, key []uint64, value uint64) []byte {
+	b := make([]byte, 0, 8+8*len(key)+8)
+	var hdr [8]byte
+	binary.BigEndian.PutUint16(hdr[0:2], evictionMagic)
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(queryID))
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(key)))
+	b = append(b, hdr[:6]...)
+	var v [8]byte
+	for _, k := range key {
+		binary.BigEndian.PutUint64(v[:], k)
+		b = append(b, v[:]...)
+	}
+	binary.BigEndian.PutUint64(v[:], value)
+	b = append(b, v[:]...)
+	return b
+}
+
+// DecodeEviction parses a message produced by EncodeEviction.
+func DecodeEviction(msg []byte) (queryID int, key []uint64, value uint64, err error) {
+	if len(msg) < 6 {
+		return 0, nil, 0, fmt.Errorf("htpr: digest message too short")
+	}
+	if binary.BigEndian.Uint16(msg[0:2]) != evictionMagic {
+		return 0, nil, 0, fmt.Errorf("htpr: not an eviction digest")
+	}
+	queryID = int(binary.BigEndian.Uint16(msg[2:4]))
+	n := int(binary.BigEndian.Uint16(msg[4:6]))
+	want := 6 + 8*n + 8
+	if len(msg) != want {
+		return 0, nil, 0, fmt.Errorf("htpr: eviction digest length %d, want %d", len(msg), want)
+	}
+	key = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		key[i] = binary.BigEndian.Uint64(msg[6+8*i:])
+	}
+	value = binary.BigEndian.Uint64(msg[6+8*n:])
+	return queryID, key, value, nil
+}

@@ -1,0 +1,81 @@
+package htpr
+
+import "sort"
+
+// CPU-side query post-processing. Sonata's operator set includes join on
+// top of filter/map/reduce/distinct; HyperTester partitions such operators
+// to the switch CPU (§5.2: "HyperTester runs all the CPU logic within
+// switch CPU"). These helpers implement that CPU stage over collected
+// reports.
+
+// JoinedResult pairs the aggregates of two queries for one key.
+type JoinedResult struct {
+	Key   []uint64
+	Left  uint64
+	Right uint64
+}
+
+// Join inner-joins two result sets on their full key tuples. Keys present
+// in only one side are dropped (use LeftJoin to keep them).
+func Join(left, right []Result) []JoinedResult {
+	idx := make(map[string]uint64, len(right))
+	for _, r := range right {
+		idx[keyString(r.Key)] = r.Value
+	}
+	var out []JoinedResult
+	for _, l := range left {
+		if rv, ok := idx[keyString(l.Key)]; ok {
+			out = append(out, JoinedResult{Key: l.Key, Left: l.Value, Right: rv})
+		}
+	}
+	return out
+}
+
+// LeftJoin keeps every left key; missing right values are zero.
+func LeftJoin(left, right []Result) []JoinedResult {
+	idx := make(map[string]uint64, len(right))
+	for _, r := range right {
+		idx[keyString(r.Key)] = r.Value
+	}
+	out := make([]JoinedResult, 0, len(left))
+	for _, l := range left {
+		out = append(out, JoinedResult{Key: l.Key, Left: l.Value, Right: idx[keyString(l.Key)]})
+	}
+	return out
+}
+
+// TopK returns the k largest results by value (ties broken by key order for
+// determinism). The input is not modified.
+func TopK(results []Result, k int) []Result {
+	sorted := make([]Result, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value > sorted[j].Value
+		}
+		return keyString(sorted[i].Key) < keyString(sorted[j].Key)
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// SumValues totals a result set (the scalar a keyless reduce reports).
+func SumValues(results []Result) uint64 {
+	var total uint64
+	for _, r := range results {
+		total += r.Value
+	}
+	return total
+}
+
+func keyString(key []uint64) string {
+	b := make([]byte, 0, len(key)*8)
+	for _, v := range key {
+		for s := 56; s >= 0; s -= 8 {
+			b = append(b, byte(v>>uint(s)))
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,170 @@
+package htps
+
+import (
+	"testing"
+
+	"github.com/hypertester/hypertester/internal/asic"
+	"github.com/hypertester/hypertester/internal/core/compiler"
+	"github.com/hypertester/hypertester/internal/core/ntapi"
+	"github.com/hypertester/hypertester/internal/core/stateless"
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/switchcpu"
+)
+
+func deploy(t *testing.T, src string, ports int, fifos map[int]*stateless.FIFO) (*netsim.Sim, *asic.Switch, *Sender, *compiler.Program) {
+	t.Helper()
+	task, err := ntapi.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(task, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.New()
+	gbps := make([]float64, ports)
+	for i := range gbps {
+		gbps[i] = 100
+	}
+	sw := asic.New(asic.Config{Name: "sw", Sim: sim, PortGbps: gbps, Seed: 1})
+	cpu := switchcpu.New(sim, sw)
+	s, err := New(sw, cpu, prog, fifos, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Ingress.Add(s.IngressProcessor())
+	sw.Egress.Add(s.EgressProcessor())
+	return sim, sw, s, prog
+}
+
+func TestAcceleratorFillsLoop(t *testing.T) {
+	sim, sw, s, _ := deploy(t, `
+T1 = trigger().set([dip, proto], [9.9.9.9, udp]).set(interval, 1us).set(port, 0)
+`, 1, nil)
+	s.Start()
+	sim.RunFor(20 * netsim.Microsecond)
+	st := s.State(1)
+	if st == nil {
+		t.Fatal("no template state")
+	}
+	inflight := st.inflight.Read(0)
+	if int(inflight) != asic.AcceleratorCapacity(64) {
+		t.Fatalf("inflight = %d, want %d (full loop)", inflight, asic.AcceleratorCapacity(64))
+	}
+	_ = sw
+}
+
+func TestCapacitySharedAcrossTemplates(t *testing.T) {
+	sim, _, s, _ := deploy(t, `
+T1 = trigger().set([dip, proto], [9.9.9.1, udp]).set(interval, 1us).set(port, 0)
+T2 = trigger().set([dip, proto], [9.9.9.2, udp]).set(interval, 1us).set(port, 0)
+`, 1, nil)
+	s.Start()
+	sim.RunFor(20 * netsim.Microsecond)
+	want := asic.AcceleratorCapacity(64) / 2
+	for tid := 1; tid <= 2; tid++ {
+		got := int(s.State(tid).inflight.Read(0))
+		if got != want {
+			t.Fatalf("template %d inflight = %d, want %d (half the loop)", tid, got, want)
+		}
+	}
+}
+
+func TestFireEveryArrivalAtLineRate(t *testing.T) {
+	sim, sw, s, _ := deploy(t, `
+T1 = trigger().set([dip, proto], [9.9.9.9, udp]).set(port, 0)
+`, 1, nil)
+	s.Start()
+	sim.RunFor(20 * netsim.Microsecond)
+	before := s.FiredCount(1)
+	sim.RunFor(100 * netsim.Microsecond)
+	fired := s.FiredCount(1) - before
+	// Line rate at 64B/100G = one fire per 6.4ns = 15625 per 100us.
+	if fired < 15000 || fired > 16000 {
+		t.Fatalf("fired %d in 100us, want ~15625 (line rate)", fired)
+	}
+	if sw.Port(0).TxDrops > 0 {
+		t.Fatalf("unexpected TX drops: %d", sw.Port(0).TxDrops)
+	}
+}
+
+func TestStatelessFiresOnlyWithRecords(t *testing.T) {
+	// A query-based template must not fire until records arrive.
+	fifo := stateless.New("q1", []asic.Field{asic.FieldIPv4Src, asic.FieldInPort}, 16)
+	fifos := map[int]*stateless.FIFO{1: fifo}
+	sim, sw, s, _ := deploy(t, `
+Q1 = query().filter(tcp_flag == SYN+ACK)
+T1 = trigger(Q1).set([dip, proto], [Q1.sip, tcp])
+`, 2, fifos)
+	var sent []*netproto.Packet
+	sw.Port(1).SetPeer(func(pkt *netproto.Packet, at netsim.Time) { sent = append(sent, pkt) })
+	s.Start()
+	sim.RunFor(100 * netsim.Microsecond)
+	if len(sent) != 0 || s.FiredCount(1) != 0 {
+		t.Fatalf("stateless template fired %d times without records", s.FiredCount(1))
+	}
+	// Push two records: template fires twice, onto the record's port.
+	fifo.Push([]uint64{uint64(netproto.MustIPv4("7.7.7.7")), 1})
+	fifo.Push([]uint64{uint64(netproto.MustIPv4("8.8.8.8")), 1})
+	sim.RunFor(100 * netsim.Microsecond)
+	if s.FiredCount(1) != 2 {
+		t.Fatalf("fired %d, want 2", s.FiredCount(1))
+	}
+	if len(sent) != 2 {
+		t.Fatalf("port 1 got %d packets, want 2", len(sent))
+	}
+	var st netproto.Stack
+	if err := st.Decode(sent[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	if st.IP4.Dst != netproto.MustIPv4("7.7.7.7") {
+		t.Fatalf("record not stamped: dip = %v", st.IP4.Dst)
+	}
+}
+
+func TestRandomModDistribution(t *testing.T) {
+	sim, sw, s, _ := deploy(t, `
+T1 = trigger()
+    .set([dip, proto], [9.9.9.9, udp])
+    .set(sport, random('U', 1000, 2023, 10))
+    .set(port, 0)
+`, 1, nil)
+	counts := map[uint16]int{}
+	var st netproto.Stack
+	sw.Port(0).SetPeer(func(pkt *netproto.Packet, at netsim.Time) {
+		if err := st.Decode(pkt.Data); err == nil {
+			counts[st.UDP.SrcPort]++
+		}
+	})
+	s.Start()
+	sim.RunFor(100 * netsim.Microsecond)
+	if len(counts) < 100 {
+		t.Fatalf("uniform random produced only %d distinct ports", len(counts))
+	}
+	for p := range counts {
+		if p < 1000 || p > 2023 {
+			t.Fatalf("port %d outside configured uniform range", p)
+		}
+	}
+}
+
+func TestMissingTriggerFIFOErrors(t *testing.T) {
+	task, err := ntapi.Parse("t", `
+Q1 = query().filter(tcp_flag == SYN)
+T1 = trigger(Q1).set(dip, Q1.sip)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(task, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.New()
+	sw := asic.New(asic.Config{Name: "sw", Sim: sim, PortGbps: []float64{100}, Seed: 1})
+	cpu := switchcpu.New(sim, sw)
+	if _, err := New(sw, cpu, prog, nil, 1); err == nil {
+		t.Fatal("missing trigger FIFO accepted")
+	}
+}

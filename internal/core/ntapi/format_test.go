@@ -1,0 +1,138 @@
+package ntapi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatParsesBack(t *testing.T) {
+	src := `
+T1 = trigger()
+    .set([dip, dport, proto, flag, seq_no], [9.9.9.9, 80, tcp, SYN, 1])
+    .set(sport, range(1024, 2047, 1))
+    .set(interval, 10us)
+    .set(loop, 3)
+    .set(port, 0)
+Q1 = query().filter(tcp_flag == SYN+ACK)
+T2 = trigger(Q1)
+    .set([dip, sip], [Q1.sip, Q1.dip])
+    .set(ack_no, Q1.seq_no + 1)
+Q2 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
+Q3 = query().distinct(keys={ipv4.sip})
+Q4 = query().delay(keys={ipv4.id})
+`
+	task, err := Parse("rt", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted := Format(task)
+	task2, err := Parse("rt2", formatted)
+	if err != nil {
+		t.Fatalf("Format output does not parse: %v\n%s", err, formatted)
+	}
+
+	// Structural equivalence.
+	if len(task2.Triggers) != len(task.Triggers) || len(task2.Queries) != len(task.Queries) {
+		t.Fatalf("shape changed: %d/%d triggers, %d/%d queries\n%s",
+			len(task2.Triggers), len(task.Triggers), len(task2.Queries), len(task.Queries), formatted)
+	}
+	t1 := task2.FindTrigger("T1")
+	if t1 == nil || t1.Interval != 10*time.Microsecond || t1.Loop != 3 {
+		t.Fatalf("T1 after round trip: %+v\n%s", t1, formatted)
+	}
+	t2 := task2.FindTrigger("T2")
+	if t2 == nil || t2.From == nil || t2.From.Name != "Q1" {
+		t.Fatalf("T2 binding lost\n%s", formatted)
+	}
+	q2 := task2.FindQuery("Q2")
+	if q2 == nil || q2.Kind != KindReduce || q2.Func != AggSum || q2.Sent == nil {
+		t.Fatalf("Q2 after round trip: %+v", q2)
+	}
+	q3 := task2.FindQuery("Q3")
+	if q3 == nil || q3.Kind != KindDistinct || len(q3.Keys) != 1 {
+		t.Fatalf("Q3 after round trip: %+v", q3)
+	}
+	q4 := task2.FindQuery("Q4")
+	if q4 == nil || q4.Kind != KindDelay {
+		t.Fatalf("Q4 after round trip: %+v", q4)
+	}
+}
+
+func TestFormatRandomIntervalAndPayload(t *testing.T) {
+	task := NewTask("f")
+	task.Trigger().
+		Set("dip", IP("9.9.9.9")).
+		WithIntervalDist(Random{Dist: DistExponential, P1: 5000}).
+		WithPayload([]byte("GET /")).
+		WithLength(128).
+		WithPorts(0, 1)
+	out := Format(task)
+	for _, want := range []string{"random('E', 5000, 0)", `"GET /"`, "length, 128", "port, [0, 1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	task2, err := Parse("f2", out)
+	if err != nil {
+		t.Fatalf("parse back: %v\n%s", err, out)
+	}
+	tr := task2.Triggers[0]
+	if tr.IntervalDist == nil || tr.IntervalDist.Dist != DistExponential || tr.IntervalDist.P1 != 5000 {
+		t.Fatalf("interval dist lost: %+v", tr.IntervalDist)
+	}
+	if string(tr.PayloadV) != "GET /" || tr.Length != 128 || len(tr.Ports) != 2 {
+		t.Fatalf("trigger fields lost: %+v", tr)
+	}
+}
+
+// Property-style: the four Table 5 task sources all survive a
+// parse-format-parse cycle with their shapes intact.
+func TestFormatRoundTripCanonicalTasks(t *testing.T) {
+	sources := []string{
+		`T1 = trigger().set([dip, proto], [9.9.9.9, udp]).set(port, 0)
+Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)`,
+		`T1 = trigger().set([sip, proto, flag], [1.1.0.1, tcp, SYN]).set(dip, range(1, 1000, 1)).set(loop, 1).set(port, 0)
+Q1 = query().filter(tcp_flag == SYN+ACK).distinct(keys={ipv4.sip})`,
+		`T1 = trigger().set([dip, proto], [9.9.9.9, udp]).set(ipv4.id, range(0, 100, 1)).set(interval, 1us).set(port, 0)
+Q1 = query().delay(keys={ipv4.id})`,
+	}
+	for i, src := range sources {
+		task, err := Parse("t", src)
+		if err != nil {
+			t.Fatalf("case %d parse: %v", i, err)
+		}
+		task2, err := Parse("t2", Format(task))
+		if err != nil {
+			t.Fatalf("case %d reparse: %v\n%s", i, err, Format(task))
+		}
+		if len(task2.Triggers) != len(task.Triggers) || len(task2.Queries) != len(task.Queries) {
+			t.Fatalf("case %d shape changed", i)
+		}
+		// Second format is a fixed point.
+		if Format(task2) != Format(task2) {
+			t.Fatalf("case %d format not deterministic", i)
+		}
+	}
+}
+
+// Parser robustness: arbitrary junk must error or parse, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	inputs := []string{
+		"T1 = trigger(().set(", "Q = query().filter(", "= trigger()",
+		"T1 = trigger().set([a,b,c], [1,2])", "T1 = trigger().set(dip, range(,,))",
+		"T1 = trigger().set(dip, random('X', 1, 2))", "\x00\x01\x02",
+		"T1 = trigger().set(payload, \"unterminated", "T1 = trigger().set(dip, [)",
+		strings.Repeat(".set(a, 1)", 500),
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on %q: %v", in, r)
+				}
+			}()
+			_, _ = Parse("fuzz", in)
+		}()
+	}
+}

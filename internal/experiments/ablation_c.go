@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hypertester/hypertester/internal/asic"
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/switchcpu"
+	"github.com/hypertester/hypertester/internal/testbed"
+)
+
+// AblationTemplateAmplification quantifies the paper's core co-design
+// argument (§3.1): the switch CPU alone cannot generate meaningful traffic
+// through the PCIe packet interface; template-based generation uses the CPU
+// once per template and lets the ASIC amplify to line rate.
+func AblationTemplateAmplification(cfg Config) *Result {
+	res := &Result{
+		ID:      "Ablation C",
+		Title:   "Template-based amplification vs CPU-only injection (64B, one 100G port)",
+		Columns: []string{"rate", "CPU packets used"},
+	}
+	window := 200 * netsim.Microsecond
+	if cfg.Quick {
+		window = 100 * netsim.Microsecond
+	}
+
+	// (a) CPU-only: the switch CPU injects every packet itself.
+	sim := netsim.New()
+	sw := asic.New(asic.Config{Name: "sw", Sim: sim, PortGbps: []float64{100}, Seed: cfg.Seed})
+	cpu := switchcpu.New(sim, sw)
+	sw.Ingress.Add(asic.ProcessorFunc(func(p *asic.PHV) { p.EgressPort = 0 }))
+	sink := testbed.NewSink(sim, "sink", 100)
+	testbed.Connect(sim, sw.Port(0), sink.Iface, 0)
+	raw, err := netproto.BuildUDP(netproto.UDPSpec{
+		SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, FrameLen: 64})
+	if err != nil {
+		return errResult(res, err)
+	}
+	injected := cpu.InjectLoop(func(n uint64) *netproto.Packet {
+		return &netproto.Packet{Data: append([]byte(nil), raw...)}
+	}, netsim.Time(window))
+	sim.RunUntil(netsim.Time(window + netsim.Millisecond))
+	cpuOnlyPps := sink.RatePps()
+	res.Rows = append(res.Rows, Row{
+		Label: "CPU-only injection",
+		Values: []string{
+			fmt.Sprintf("%.2f Mpps (%.1f Gbps)", cpuOnlyPps/1e6, sink.ThroughputGbps()),
+			fmt.Sprintf("%d (one per packet)", *injected),
+		},
+	})
+
+	// (b) Template-based: one CPU packet, ASIC amplification.
+	sinks, ht, err := htGenerate(throughputSrc(64, "0"), []float64{100}, cfg.Seed,
+		30*netsim.Microsecond, window, false)
+	if err != nil {
+		return errResult(res, err)
+	}
+	tmplPps := sinks[0].RatePps()
+	res.Rows = append(res.Rows, Row{
+		Label: "template-based (HTPS)",
+		Values: []string{
+			fmt.Sprintf("%.2f Mpps (%.1f Gbps)", tmplPps/1e6, sinks[0].ThroughputGbps()),
+			fmt.Sprintf("%d (one template)", len(ht.Program.Templates)),
+		},
+	})
+	res.Rows = append(res.Rows, Row{
+		Label:  "amplification",
+		Values: []string{fmt.Sprintf("%.0fx", tmplPps/cpuOnlyPps), "-"},
+	})
+	res.Notes = append(res.Notes,
+		"the co-design of §3.1 measured: the ASIC amplifies one CPU-built template to line rate, two orders beyond what the switch CPU can inject directly")
+	return res
+}

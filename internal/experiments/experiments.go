@@ -1,0 +1,141 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§7) on the simulated testbed. Each experiment returns a
+// structured Result whose String renders the same rows/series the paper
+// reports; cmd/htbench prints them all and the repository's bench suite
+// wraps each one in a testing.B benchmark.
+//
+// Quick mode shrinks measurement windows and sweep densities so the whole
+// suite runs in seconds; full mode uses longer windows for tighter
+// statistics. Shapes and ratios are stable across both.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/testbed"
+
+	hypertester "github.com/hypertester/hypertester"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Quick shrinks windows and sweeps.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Row is one line of a result table.
+type Row struct {
+	Label  string
+	Values []string
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID      string // e.g. "Table 5", "Fig. 9a"
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Notes carries the paper-vs-measured commentary.
+	Notes []string
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns)+1)
+	update := func(i int, s string) {
+		if len(s) > widths[i] {
+			widths[i] = len(s)
+		}
+	}
+	update(0, "")
+	for i, c := range r.Columns {
+		update(i+1, c)
+	}
+	for _, row := range r.Rows {
+		update(0, row.Label)
+		for i, v := range row.Values {
+			if i+1 < len(widths) {
+				update(i+1, v)
+			}
+		}
+	}
+	pad := func(s string, w int) string { return s + strings.Repeat(" ", w-len(s)) }
+	b.WriteString(pad("", widths[0]))
+	for i, c := range r.Columns {
+		b.WriteString("  " + pad(c, widths[i+1]))
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		b.WriteString(pad(row.Label, widths[0]))
+		for i, v := range row.Values {
+			if i+1 < len(widths) {
+				b.WriteString("  " + pad(v, widths[i+1]))
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment in paper order.
+func All(cfg Config) []*Result {
+	return []*Result{
+		Table5LoC(cfg),
+		Fig9SinglePort(cfg),
+		Fig10MultiPort(cfg),
+		Fig11RateControl40G(cfg),
+		Fig12RateControl100G(cfg),
+		Fig13RandomQQ(cfg),
+		Fig14Accelerator(cfg),
+		Fig15Replicator(cfg),
+		Fig16StatCollection(cfg),
+		Fig17ExactMatch(cfg),
+		Table6Cost(cfg),
+		Table7Resources(cfg),
+		Table8SynFlood(cfg),
+		Fig18DelayTesting(cfg),
+		AblationSketchAccuracy(cfg),
+		AblationCuckooOccupancy(cfg),
+		AblationTemplateAmplification(cfg),
+		CaseWebScale(cfg),
+	}
+}
+
+// htGenerate runs a HyperTester generation task against per-port sinks and
+// returns them after the measurement window (warm-up excluded).
+func htGenerate(src string, portGbps []float64, seed int64,
+	warmup, window netsim.Duration, record bool) ([]*testbed.Sink, *hypertester.Tester, error) {
+
+	ht := hypertester.New(hypertester.Config{Ports: portGbps, Seed: seed})
+	if err := ht.LoadTaskSource("exp", src); err != nil {
+		return nil, nil, err
+	}
+	sinks := make([]*testbed.Sink, len(portGbps))
+	for i := range portGbps {
+		sinks[i] = testbed.NewSink(ht.Sim, fmt.Sprintf("sink%d", i), portGbps[i])
+		sinks[i].RecordTimestamps = record
+		testbed.Connect(ht.Sim, ht.Port(i), sinks[i].Iface, 0)
+	}
+	if err := ht.Start(); err != nil {
+		return nil, nil, err
+	}
+	ht.RunFor(warmup)
+	for _, s := range sinks {
+		s.Reset()
+	}
+	ht.RunFor(window)
+	return sinks, ht, nil
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var cfg = Config{Quick: true, Seed: 1}
+
+func num(t *testing.T, res *Result, row, col int) float64 {
+	t.Helper()
+	if row >= len(res.Rows) || col >= len(res.Rows[row].Values) {
+		t.Fatalf("%s: no cell (%d,%d); rows=%d", res.ID, row, col, len(res.Rows))
+	}
+	f := strings.Fields(res.Rows[row].Values[col])
+	v, err := strconv.ParseFloat(strings.TrimPrefix(strings.TrimSuffix(strings.TrimSuffix(f[0], "%"), "x"), "$"), 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d: %q not numeric", res.ID, row, col, res.Rows[row].Values[col])
+	}
+	return v
+}
+
+func noErrors(t *testing.T, res *Result) {
+	t.Helper()
+	for _, n := range res.Notes {
+		if strings.HasPrefix(n, "ERROR") {
+			t.Fatalf("%s: %s", res.ID, n)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	res := Table5LoC(cfg)
+	noErrors(t, res)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := range res.Rows {
+		nt, p4, lua := num(t, res, i, 0), num(t, res, i, 1), num(t, res, i, 2)
+		if nt >= lua {
+			t.Errorf("%s: NTAPI (%v) not smaller than Lua (%v)", res.Rows[i].Label, nt, lua)
+		}
+		if p4 < 5*nt {
+			t.Errorf("%s: generated P4 (%v) should dwarf NTAPI (%v)", res.Rows[i].Label, p4, nt)
+		}
+		// The paper's headline: >74.4% reduction vs Lua.
+		if 1-nt/lua < 0.744 {
+			t.Errorf("%s: reduction %.1f%% below the paper's 74.4%%", res.Rows[i].Label, 100*(1-nt/lua))
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res := Fig9SinglePort(cfg)
+	noErrors(t, res)
+	for i, row := range res.Rows {
+		ht100, ht40, mg40 := num(t, res, i, 0), num(t, res, i, 1), num(t, res, i, 2)
+		if ht100 < 97 || ht40 < 38 {
+			t.Errorf("%s: HT off line rate: %v / %v", row.Label, ht100, ht40)
+		}
+		if i == 0 && mg40 > 15 {
+			t.Errorf("64B: MG one core should be far below 40G, got %v", mg40)
+		}
+	}
+	// MG reaches line rate for the largest size.
+	last := len(res.Rows) - 1
+	if mg := num(t, res, last, 2); mg < 38 {
+		t.Errorf("1500B: MG should reach 40G line rate, got %v", mg)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res := Fig10MultiPort(cfg)
+	noErrors(t, res)
+	// HT scales ~100G per port; MG ~10G per core.
+	for i := range res.Rows {
+		n := float64(i + 1)
+		if ht := num(t, res, i, 0); ht < 97*n {
+			t.Errorf("n=%d: HT aggregate %v below %v", i+1, ht, 97*n)
+		}
+		if mg := num(t, res, i, 1); mg < 9*n || mg > 11*n {
+			t.Errorf("n=%d: MG aggregate %v, want ~%v", i+1, mg, 10*n)
+		}
+	}
+}
+
+func TestFig11OrderOfMagnitude(t *testing.T) {
+	res := Fig11RateControl40G(cfg)
+	noErrors(t, res)
+	for i, row := range res.Rows {
+		htMAE, mgMAE := num(t, res, i, 0), num(t, res, i, 3)
+		if mgMAE < 10*htMAE {
+			t.Errorf("%s: MG MAE %v not an order above HT %v", row.Label, mgMAE, htMAE)
+		}
+		htRMSE := num(t, res, i, 2)
+		if htRMSE < htMAE {
+			t.Errorf("%s: RMSE < MAE", row.Label)
+		}
+	}
+}
+
+func TestFig12ErrorsGrowWithSize(t *testing.T) {
+	res := Fig12RateControl100G(cfg)
+	noErrors(t, res)
+	// Speed rows (same size) stay in a narrow band; size rows grow.
+	var sizeMAEs []float64
+	for i, row := range res.Rows {
+		if strings.Contains(row.Label, "1Mpps/") && !strings.Contains(row.Label, "/64B") {
+			sizeMAEs = append(sizeMAEs, num(t, res, i, 0))
+		}
+	}
+	if len(sizeMAEs) < 3 {
+		t.Fatalf("size sweep rows missing")
+	}
+	if sizeMAEs[len(sizeMAEs)-1] <= sizeMAEs[0] {
+		t.Errorf("errors should grow with packet size: %v", sizeMAEs)
+	}
+}
+
+func TestFig13Correlation(t *testing.T) {
+	res := Fig13RandomQQ(cfg)
+	noErrors(t, res)
+	for i, row := range res.Rows {
+		if corr := num(t, res, i, 0); corr < 0.995 {
+			t.Errorf("%s: Q-Q correlation %v too low", row.Label, corr)
+		}
+	}
+}
+
+func TestFig14Calibration(t *testing.T) {
+	res := Fig14Accelerator(cfg)
+	noErrors(t, res)
+	rtt64 := num(t, res, 0, 0)
+	if rtt64 < 568 || rtt64 > 572 {
+		t.Errorf("64B RTT = %v, want ~570 (paper)", rtt64)
+	}
+	if rmse := num(t, res, 0, 1); rmse > 5 {
+		t.Errorf("RTT RMSE %v above the paper's 5ns bound", rmse)
+	}
+	if cap64 := num(t, res, 0, 2); cap64 != 89 {
+		t.Errorf("capacity = %v, want 89", cap64)
+	}
+	// RTT grows with size; capacity shrinks.
+	last := len(res.Rows) - 1
+	if num(t, res, last, 0) <= rtt64 || num(t, res, last, 2) >= 89 {
+		t.Error("size trend wrong")
+	}
+}
+
+func TestFig15Calibration(t *testing.T) {
+	res := Fig15Replicator(cfg)
+	noErrors(t, res)
+	d64 := num(t, res, 0, 0)
+	if d64 < 385 || d64 > 393 {
+		t.Errorf("64B mcast delay = %v, want ~389", d64)
+	}
+	if rmse := num(t, res, 0, 1); rmse > 4.5 {
+		t.Errorf("mcast RMSE %v above the paper's 4.5ns", rmse)
+	}
+	// 1280B ~ +65ns.
+	d1280 := num(t, res, 4, 0)
+	if d1280-d64 < 55 || d1280-d64 > 75 {
+		t.Errorf("1280B delta = %v, want ~65ns", d1280-d64)
+	}
+	// Port count/speed rows stay within a few ns of the 64B baseline.
+	for i := 5; i < len(res.Rows); i++ {
+		if d := num(t, res, i, 0); d < d64-5 || d > d64+5 {
+			t.Errorf("%s: delay %v deviates from baseline", res.Rows[i].Label, d)
+		}
+	}
+}
+
+func TestFig16Shapes(t *testing.T) {
+	res := Fig16StatCollection(cfg)
+	noErrors(t, res)
+	// Goodput grows with message size to ~4.5 Mbps.
+	g16, g256 := num(t, res, 0, 0), num(t, res, 4, 0)
+	if g256 < 4.0 || g256 > 5.0 {
+		t.Errorf("256B goodput = %v, want ~4.5Mbps", g256)
+	}
+	if g16 >= g256 {
+		t.Error("goodput should grow with message size")
+	}
+	// 65536-counter row: batched <0.2s and much faster than one-by-one.
+	last := res.Rows[len(res.Rows)-1].Values[0]
+	var single, batch float64
+	if _, err := sscanTwo(last, &single, &batch); err != nil {
+		t.Fatalf("parse %q: %v", last, err)
+	}
+	if batch >= 0.2 {
+		t.Errorf("batched pull %vs, want <0.2s (paper)", batch)
+	}
+	if single < 5*batch {
+		t.Errorf("one-by-one (%v) should be much slower than batched (%v)", single, batch)
+	}
+}
+
+func sscanTwo(s string, a, b *float64) (int, error) {
+	var x, y float64
+	n, err := fmtSscanf(s, &x, &y)
+	*a, *b = x, y
+	return n, err
+}
+
+func fmtSscanf(s string, x, y *float64) (int, error) {
+	fields := strings.Fields(s)
+	got := 0
+	for _, f := range fields {
+		f = strings.TrimSuffix(strings.TrimSuffix(f, "s,"), "s")
+		if v, err := strconv.ParseFloat(f, 64); err == nil {
+			if got == 0 {
+				*x = v
+			} else if got == 1 {
+				*y = v
+				return 2, nil
+			}
+			got++
+		}
+	}
+	return got, nil
+}
+
+func TestFig17Trends(t *testing.T) {
+	res := Fig17ExactMatch(cfg)
+	noErrors(t, res)
+	// Entries grow with flow count (same array size), 32-bit needs fewer
+	// than 16-bit at scale, and smaller arrays need more entries.
+	var small16 []float64 // 16K arrays across flow counts
+	for i, row := range res.Rows {
+		if strings.Contains(row.Label, "16K-slot") {
+			small16 = append(small16, num(t, res, i, 0))
+		}
+	}
+	for i := 1; i < len(small16); i++ {
+		if small16[i] < small16[i-1] {
+			t.Errorf("entries should grow with flows: %v", small16)
+		}
+	}
+	// Last (largest) population: digest-width and array-size effects.
+	n := len(res.Rows)
+	e16small, e32small := num(t, res, n-2, 0), num(t, res, n-2, 1)
+	e16big := num(t, res, n-1, 0)
+	if e32small >= e16small {
+		t.Errorf("32-bit digest (%v) should need fewer entries than 16-bit (%v)", e32small, e16small)
+	}
+	if e16big >= e16small {
+		t.Errorf("larger arrays (%v) should need fewer entries than small (%v)", e16big, e16small)
+	}
+}
+
+func TestTable6Numbers(t *testing.T) {
+	res := Table6Cost(cfg)
+	noErrors(t, res)
+	if sav := num(t, res, 2, 0); sav < 38400 {
+		t.Errorf("equipment savings %v below the paper's $38,400", sav)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	res := Table7Resources(cfg)
+	noErrors(t, res)
+	// Trigger components stay small; reduce/distinct dominate SALU.
+	for i, row := range res.Rows {
+		salu := num(t, res, i, 5)
+		if strings.HasPrefix(row.Label, "distinct") || strings.HasPrefix(row.Label, "reduce") {
+			if salu < 15 {
+				t.Errorf("%s: SALU %v%% too small (paper: 33-45%%)", row.Label, salu)
+			}
+			if sram := num(t, res, i, 1); sram < 5 {
+				t.Errorf("%s: SRAM %v%% too small", row.Label, sram)
+			}
+		} else if salu > 15 {
+			t.Errorf("%s: SALU %v%% too large for a trigger component", row.Label, salu)
+		}
+		if xbar := num(t, res, i, 0); xbar > 15 {
+			t.Errorf("%s: crossbar %v%% implausible", row.Label, xbar)
+		}
+	}
+}
+
+func TestTable8Numbers(t *testing.T) {
+	res := Table8SynFlood(cfg)
+	noErrors(t, res)
+	if g := num(t, res, 0, 0); g < 390 || g > 410 {
+		t.Errorf("testbed throughput %v, want ~400Gbps", g)
+	}
+	if a := num(t, res, 2, 1); a < 5.1e6 || a > 5.3e6 {
+		t.Errorf("estimated agents %v, want 5.2e6", a)
+	}
+}
+
+func TestFig18Ordering(t *testing.T) {
+	res := Fig18DelayTesting(cfg)
+	noErrors(t, res)
+	get := func(label string) float64 {
+		for i, row := range res.Rows {
+			if row.Label == label {
+				return num(t, res, i, 0)
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return 0
+	}
+	truth := get("true DUT delay")
+	htHW, htSW := get("HyperTester-HW"), get("HyperTester-SW")
+	mgHW, mgSW := get("MoonGen-HW"), get("MoonGen-SW")
+	if abs(htHW-truth) > 2 || abs(mgHW-truth) > 2 {
+		t.Errorf("HW timestamps should match truth: ht=%v mg=%v truth=%v", htHW, mgHW, truth)
+	}
+	if htSW <= htHW {
+		t.Error("HT-SW should measure more than HW")
+	}
+	if htSW > 1.6*truth {
+		t.Errorf("HT-SW (%v) should stay close to truth (%v)", htSW, truth)
+	}
+	if mgSW < 3*truth {
+		t.Errorf("MG-SW (%v) should deviate by over 3x (paper)", mgSW)
+	}
+	if htSW >= mgSW {
+		t.Error("HT-SW must beat MG-SW")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestResultString(t *testing.T) {
+	res := &Result{ID: "X", Title: "t", Columns: []string{"a"},
+		Rows: []Row{{Label: "r", Values: []string{"1"}}}, Notes: []string{"n"}}
+	s := res.String()
+	for _, want := range []string{"== X — t ==", "r", "1", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	a := AblationSketchAccuracy(cfg)
+	noErrors(t, a)
+	for i, row := range a.Rows {
+		if errs := num(t, a, i, 0); errs != 0 {
+			t.Errorf("%s: counter-based errors = %v, want 0 (exactness)", row.Label, errs)
+		}
+		if over := num(t, a, i, 1); over == 0 {
+			t.Errorf("%s: Count-Min had no overestimates under 4x pressure", row.Label)
+		}
+	}
+
+	b := AblationCuckooOccupancy(cfg)
+	noErrors(t, b)
+	for i, row := range b.Rows {
+		cuckoo, simple := num(t, b, i, 0), num(t, b, i, 1)
+		if cuckoo <= simple {
+			t.Errorf("%s: cuckoo (%v%%) must beat simple hashing (%v%%)", row.Label, cuckoo, simple)
+		}
+	}
+	// At half load, cuckoo holds essentially everything.
+	if halfLoad := num(t, b, 1, 0); halfLoad < 99 {
+		t.Errorf("cuckoo at load 0.5 on-chip = %v%%, want >99%%", halfLoad)
+	}
+
+	c := AblationTemplateAmplification(cfg)
+	noErrors(t, c)
+	if amp := num(t, c, 2, 0); amp < 50 {
+		t.Errorf("amplification %vx, want >= two orders of magnitude shape", amp)
+	}
+}
+
+func TestCaseWebScaleShape(t *testing.T) {
+	res := CaseWebScale(cfg)
+	noErrors(t, res)
+	offered := num(t, res, 0, 0)
+	handshakes := num(t, res, 1, 0)
+	requests := num(t, res, 2, 0)
+	if offered < 95000 || offered > 102000 {
+		t.Fatalf("offered rate %v/s, want ~100K", offered)
+	}
+	if handshakes < 0.98*offered {
+		t.Fatalf("handshakes %v/s lag offered %v/s", handshakes, offered)
+	}
+	if requests < 0.98*offered {
+		t.Fatalf("requests %v/s lag offered %v/s", requests, offered)
+	}
+}

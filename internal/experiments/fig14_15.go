@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hypertester/hypertester/internal/asic"
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/stats"
+)
+
+// Fig14Accelerator reproduces Fig. 14: the template-packet recirculation
+// round-trip time (mean and RMSE) and the accelerator capacity, across
+// template sizes.
+func Fig14Accelerator(cfg Config) *Result {
+	res := &Result{
+		ID:      "Fig. 14",
+		Title:   "Accelerator: recirculation RTT and capacity",
+		Columns: []string{"RTT mean (ns)", "RTT RMSE (ns)", "capacity"},
+	}
+	loops := 20000
+	if cfg.Quick {
+		loops = 3000
+	}
+	for _, size := range packetSizes {
+		sim := netsim.New()
+		sw := asic.New(asic.Config{Name: "sw", Sim: sim, PortGbps: []float64{100}, Seed: cfg.Seed})
+		var arrivals []float64
+		sw.Ingress.Add(asic.ProcessorFunc(func(p *asic.PHV) {
+			if p.Meta.InPort >= asic.RecircPortBase {
+				arrivals = append(arrivals, netsim.Time(p.Meta.IngressPs).Nanoseconds())
+			}
+			if len(arrivals) >= loops {
+				p.Drop = true
+				return
+			}
+			p.Recirculate = true
+		}))
+		raw, err := netproto.BuildUDP(netproto.UDPSpec{
+			SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, FrameLen: size})
+		if err != nil {
+			return errResult(res, err)
+		}
+		sw.Port(0).Receive(&netproto.Packet{Data: raw})
+		sim.Run()
+
+		gaps := stats.Gaps(arrivals[1:]) // skip the front-panel entry hop
+		mean := stats.Mean(gaps)
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("%dB", size),
+			Values: []string{
+				f1(mean),
+				f2(stats.RMSE(gaps, mean)),
+				fmt.Sprintf("%d", asic.AcceleratorCapacity(size)),
+			},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper Fig. 14: 64B completes a loop in ~570ns with RMSE <5ns; capacity 89 at 64B, shrinking with size")
+	return res
+}
+
+// Fig15Replicator reproduces Fig. 15: the multicast-engine delay across
+// packet sizes, and its (near-zero) sensitivity to port count and speed.
+func Fig15Replicator(cfg Config) *Result {
+	res := &Result{
+		ID:      "Fig. 15",
+		Title:   "Replicator: mcast engine delay",
+		Columns: []string{"delay mean (ns)", "RMSE (ns)"},
+	}
+	n := 3000
+	if cfg.Quick {
+		n = 500
+	}
+	// (a) impact of packet size, 1 mcast port at 100G.
+	for _, size := range []int{64, 256, 512, 1024, 1280} {
+		mean, rmse, err := mcastDelay(cfg, size, 1, 100, n)
+		if err != nil {
+			return errResult(res, err)
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:  fmt.Sprintf("%dB x1port@100G", size),
+			Values: []string{f1(mean), f2(rmse)},
+		})
+	}
+	// (b) impact of port count and speed on 64B packets.
+	for _, pc := range []struct {
+		ports int
+		gbps  float64
+	}{{2, 100}, {4, 100}, {8, 100}, {4, 40}, {4, 10}} {
+		mean, rmse, err := mcastDelay(cfg, 64, pc.ports, pc.gbps, n)
+		if err != nil {
+			return errResult(res, err)
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:  fmt.Sprintf("64B x%dports@%.0fG", pc.ports, pc.gbps),
+			Values: []string{f1(mean), f2(rmse)},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper Fig. 15: ~389ns at 64B rising ~65ns by 1280B, RMSE <4.5ns; port count and speed have close-to-zero impact")
+	return res
+}
+
+// mcastDelay measures the extra delay replication adds over the unicast
+// path, by timestamping copies at egress-pipeline entry.
+func mcastDelay(cfg Config, size, ports int, gbps float64, n int) (mean, rmse float64, err error) {
+	sim := netsim.New()
+	rates := make([]float64, ports+1)
+	for i := range rates {
+		rates[i] = gbps
+	}
+	sw := asic.New(asic.Config{Name: "sw", Sim: sim, PortGbps: rates, Seed: cfg.Seed})
+	copies := []asic.CopySpec{}
+	for p := 1; p <= ports; p++ {
+		copies = append(copies, asic.CopySpec{Port: p, Rid: p})
+	}
+	if err := sw.Mcast.SetGroup(1, copies); err != nil {
+		return 0, 0, err
+	}
+	// Carry the ingress-end timestamp to the copies in packet metadata
+	// (SeqID is unused in this controlled experiment).
+	sw.Ingress.Add(asic.ProcessorFunc(func(p *asic.PHV) {
+		p.Meta.SeqID = uint64(sim.Now())
+		p.McastGroup = 1
+	}))
+	var delays []float64
+	sw.Egress.Add(asic.ProcessorFunc(func(p *asic.PHV) {
+		// Replication delay = egress-entry time minus ingress-end time
+		// minus the baseline TM latency.
+		d := float64(uint64(sim.Now())-p.Meta.SeqID)/1e3 - float64(asic.TMLatencyNs)
+		delays = append(delays, d)
+	}))
+
+	raw, err := netproto.BuildUDP(netproto.UDPSpec{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, FrameLen: size})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Send n packets, spaced enough to avoid queueing.
+	gap := netsim.Ns(3 * netproto.WireTimeNs(size, gbps))
+	if gap < netsim.Ns(asic.McastDelayNs(size)*2) {
+		gap = netsim.Ns(asic.McastDelayNs(size) * 2)
+	}
+	for i := 0; i < n; i++ {
+		pkt := &netproto.Packet{Data: append([]byte(nil), raw...)}
+		pkt.Meta.UID = uint64(i + 1)
+		at := netsim.Time(int64(i) * int64(gap))
+		sim.At(at, func() { sw.Port(0).Receive(pkt) })
+	}
+	sim.Run()
+	mean = stats.Mean(delays)
+	return mean, stats.RMSE(delays, mean), nil
+}

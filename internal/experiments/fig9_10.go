@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hypertester/hypertester/internal/moongen"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/testbed"
+)
+
+func throughputSrc(size int, ports string) string {
+	return fmt.Sprintf(`
+T1 = trigger()
+    .set([dip, sip, proto, dport, sport], [9.9.9.9, 1.1.0.1, udp, 1, 1])
+    .set(length, %d)
+    .set(port, %s)
+`, size, ports)
+}
+
+var packetSizes = []int{64, 128, 256, 512, 1024, 1500}
+
+// Fig9SinglePort reproduces Fig. 9: single-port throughput across packet
+// sizes for HyperTester at 100G and 40G (line rate everywhere) versus a
+// single-core MoonGen on a 40G port (CPU-bound for small packets).
+func Fig9SinglePort(cfg Config) *Result {
+	window := 200 * netsim.Microsecond
+	if cfg.Quick {
+		window = 60 * netsim.Microsecond
+	}
+	res := &Result{
+		ID:      "Fig. 9",
+		Title:   "Single-port throughput vs packet size (Gbps)",
+		Columns: []string{"HT@100G", "HT@40G", "MG@40G(1 core)", "line@40G"},
+	}
+	for _, size := range packetSizes {
+		var vals []string
+		for _, gbps := range []float64{100, 40} {
+			sinks, _, err := htGenerate(throughputSrc(size, "0"), []float64{gbps}, cfg.Seed,
+				30*netsim.Microsecond, window, false)
+			if err != nil {
+				return errResult(res, err)
+			}
+			vals = append(vals, f1(sinks[0].ThroughputGbps()))
+		}
+		// MoonGen, one core on a 40G port, max speed.
+		sim := netsim.New()
+		g := moongen.New(sim, moongen.Config{Name: "mg", PortGbps: 40, FrameLen: size, Seed: cfg.Seed})
+		sink := testbed.NewSink(sim, "sink", 40)
+		testbed.Connect(sim, g.Iface, sink.Iface, 0)
+		g.Start(netsim.Time(window))
+		sim.RunUntil(netsim.Time(window + netsim.Millisecond))
+		vals = append(vals, f1(sink.ThroughputGbps()), f1(40))
+		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("%dB", size), Values: vals})
+	}
+	res.Notes = append(res.Notes,
+		"paper Fig. 9: HT at line rate for all sizes on both port speeds; MG cannot fill 40G below ~320B with one core")
+	return res
+}
+
+// Fig10MultiPort reproduces Fig. 10: aggregate 64-byte throughput as ports
+// (HyperTester, 100G each) or cores (MoonGen, one per 10G port) are added.
+func Fig10MultiPort(cfg Config) *Result {
+	window := 100 * netsim.Microsecond
+	if cfg.Quick {
+		window = 50 * netsim.Microsecond
+	}
+	res := &Result{
+		ID:      "Fig. 10",
+		Title:   "Multi-port 64B throughput (Gbps aggregate)",
+		Columns: []string{"HT n x 100G", "MG n cores x 10G"},
+	}
+	maxN := 8
+	if cfg.Quick {
+		maxN = 4
+	}
+	for n := 1; n <= maxN; n++ {
+		htVal := "-"
+		if n <= 4 { // the testbed tops out at 4x100G (Fig. 8)
+			ports := make([]float64, n)
+			portList := ""
+			for i := range ports {
+				ports[i] = 100
+				if i > 0 {
+					portList += ", "
+				}
+				portList += fmt.Sprintf("%d", i)
+			}
+			sinks, _, err := htGenerate(throughputSrc(64, "["+portList+"]"), ports, cfg.Seed,
+				30*netsim.Microsecond, window, false)
+			if err != nil {
+				return errResult(res, err)
+			}
+			total := 0.0
+			for _, s := range sinks {
+				total += s.ThroughputGbps()
+			}
+			htVal = f1(total)
+		}
+		// MoonGen: n cores, each driving its own 10G port.
+		sim := netsim.New()
+		total := 0.0
+		sinks := make([]*testbed.Sink, n)
+		for i := 0; i < n; i++ {
+			g := moongen.New(sim, moongen.Config{
+				Name: fmt.Sprintf("mg%d", i), PortGbps: 10, FrameLen: 64, Seed: cfg.Seed + int64(i)})
+			sinks[i] = testbed.NewSink(sim, "sink", 10)
+			testbed.Connect(sim, g.Iface, sinks[i].Iface, 0)
+			g.Start(netsim.Time(window))
+		}
+		sim.RunUntil(netsim.Time(window + netsim.Millisecond))
+		for _, s := range sinks {
+			total += s.ThroughputGbps()
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:  fmt.Sprintf("n=%d", n),
+			Values: []string{htVal, f1(total)},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper Fig. 10: HT holds line rate per port (400G with 4 ports in the testbed); MG adds ~10G per core up to 80G with 8 cores")
+	return res
+}
+
+func errResult(res *Result, err error) *Result {
+	res.Notes = append(res.Notes, "ERROR: "+err.Error())
+	return res
+}

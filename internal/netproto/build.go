@@ -1,0 +1,140 @@
+package netproto
+
+// This file holds packet builders used by template generation, DUT models
+// and tests. Builders produce frames of an exact target size by padding the
+// application payload, the way real testers craft fixed-size test packets.
+
+// UDPSpec describes a UDP test packet to build.
+type UDPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4Addr
+	SrcPort, DstPort uint16
+	TTL              uint8
+	Payload          []byte
+	// FrameLen, when non-zero, pads the payload so the final frame is
+	// exactly this many bytes. Minimum is headers + payload.
+	FrameLen int
+	// VLAN, when true, inserts an 802.1Q tag with VlanID/VlanPCP.
+	VLAN    bool
+	VlanID  uint16
+	VlanPCP uint8
+}
+
+// TCPSpec describes a TCP test packet to build.
+type TCPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4Addr
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	TTL              uint8
+	Payload          []byte
+	FrameLen         int
+	VLAN             bool
+	VlanID           uint16
+	VlanPCP          uint8
+}
+
+// MinUDPFrame is the smallest UDP-over-IPv4-over-Ethernet frame we build.
+const MinUDPFrame = EthernetLen + IPv4MinLen + UDPLen
+
+// MinTCPFrame is the smallest TCP-over-IPv4-over-Ethernet frame we build.
+const MinTCPFrame = EthernetLen + IPv4MinLen + TCPMinLen
+
+func padTo(payload []byte, have, want int) []byte {
+	if want <= have+len(payload) {
+		return payload
+	}
+	p := make([]byte, want-have)
+	copy(p, payload)
+	return p
+}
+
+// l2Layers builds the Ethernet (and optional 802.1Q) prefix.
+func l2Layers(src, dst MAC, vlan bool, vid uint16, pcp uint8) []SerializableLayer {
+	if !vlan {
+		return []SerializableLayer{&Ethernet{Dst: dst, Src: src, EtherType: EtherTypeIPv4}}
+	}
+	return []SerializableLayer{
+		&Ethernet{Dst: dst, Src: src, EtherType: EtherTypeVLAN},
+		&Dot1Q{VID: vid, PCP: pcp, EtherType: EtherTypeIPv4},
+	}
+}
+
+// BuildUDP assembles the frame described by spec.
+func BuildUDP(spec UDPSpec) ([]byte, error) {
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	minLen := MinUDPFrame
+	if spec.VLAN {
+		minLen += Dot1QLen
+	}
+	payload := padTo(spec.Payload, minLen, spec.FrameLen)
+	layers := l2Layers(spec.SrcMAC, spec.DstMAC, spec.VLAN, spec.VlanID, spec.VlanPCP)
+	layers = append(layers,
+		&IPv4{TTL: ttl, Protocol: IPProtoUDP, Src: spec.SrcIP, Dst: spec.DstIP},
+		&UDP{SrcPort: spec.SrcPort, DstPort: spec.DstPort, PseudoSrc: spec.SrcIP, PseudoDst: spec.DstIP},
+		Payload(payload),
+	)
+	return Serialize(layers...)
+}
+
+// BuildTCP assembles the frame described by spec.
+func BuildTCP(spec TCPSpec) ([]byte, error) {
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	win := spec.Window
+	if win == 0 {
+		win = 65535
+	}
+	minLen := MinTCPFrame
+	if spec.VLAN {
+		minLen += Dot1QLen
+	}
+	payload := padTo(spec.Payload, minLen, spec.FrameLen)
+	layers := l2Layers(spec.SrcMAC, spec.DstMAC, spec.VLAN, spec.VlanID, spec.VlanPCP)
+	layers = append(layers,
+		&IPv4{TTL: ttl, Protocol: IPProtoTCP, Src: spec.SrcIP, Dst: spec.DstIP},
+		&TCP{
+			SrcPort: spec.SrcPort, DstPort: spec.DstPort,
+			Seq: spec.Seq, Ack: spec.Ack, Flags: spec.Flags, Window: win,
+			PseudoSrc: spec.SrcIP, PseudoDst: spec.DstIP,
+		},
+		Payload(payload),
+	)
+	return Serialize(layers...)
+}
+
+// ICMPSpec describes an ICMP echo test packet to build.
+type ICMPSpec struct {
+	SrcMAC, DstMAC MAC
+	SrcIP, DstIP   IPv4Addr
+	Type, Code     uint8
+	Ident, Seq     uint16
+	TTL            uint8
+	Payload        []byte
+	FrameLen       int
+}
+
+// MinICMPFrame is the smallest ICMP-over-IPv4-over-Ethernet frame we build.
+const MinICMPFrame = EthernetLen + IPv4MinLen + ICMPLen
+
+// BuildICMP assembles the frame described by spec.
+func BuildICMP(spec ICMPSpec) ([]byte, error) {
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	payload := padTo(spec.Payload, MinICMPFrame, spec.FrameLen)
+	return Serialize(
+		&Ethernet{Dst: spec.DstMAC, Src: spec.SrcMAC, EtherType: EtherTypeIPv4},
+		&IPv4{TTL: ttl, Protocol: IPProtoICMP, Src: spec.SrcIP, Dst: spec.DstIP},
+		&ICMP{Type: spec.Type, Code: spec.Code, Ident: spec.Ident, Seq: spec.Seq},
+		Payload(payload),
+	)
+}

@@ -1,0 +1,87 @@
+package netproto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDot1QRoundTrip(t *testing.T) {
+	in := Dot1Q{PCP: 5, DEI: true, VID: 0x123, EtherType: EtherTypeIPv4}
+	b := NewSerializeBuffer()
+	if err := in.SerializeTo(b); err != nil {
+		t.Fatal(err)
+	}
+	var out Dot1Q
+	n, err := out.DecodeFrom(b.Bytes())
+	if err != nil || n != Dot1QLen {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestStackDecodeVLANUDP(t *testing.T) {
+	raw, err := BuildUDP(UDPSpec{
+		SrcIP: MustIPv4("10.0.0.1"), DstIP: MustIPv4("10.0.0.2"),
+		SrcPort: 5000, DstPort: 53,
+		VLAN: true, VlanID: 100, VlanPCP: 3,
+		FrameLen: 68,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 68 {
+		t.Fatalf("frame len = %d", len(raw))
+	}
+	var s Stack
+	if err := s.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(LayerVLAN) || s.VLAN.VID != 100 || s.VLAN.PCP != 3 {
+		t.Fatalf("vlan decode: %v %+v", s.Decoded, s.VLAN)
+	}
+	if !s.Has(LayerUDP) || s.UDP.DstPort != 53 {
+		t.Fatalf("inner layers lost: %v", s.Decoded)
+	}
+	if s.Eth.EtherType != EtherTypeVLAN || s.VLAN.EtherType != EtherTypeIPv4 {
+		t.Fatal("ethertype chain wrong")
+	}
+}
+
+func TestStackDecodeVLANTCP(t *testing.T) {
+	raw, err := BuildTCP(TCPSpec{
+		SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Flags: TCPSyn,
+		VLAN: true, VlanID: 4095,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Stack
+	if err := s.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(LayerVLAN) || !s.Has(LayerTCP) || s.VLAN.VID != 4095 {
+		t.Fatalf("decode: %v", s.Decoded)
+	}
+}
+
+// Property: any (vid, pcp, dei) round-trips through the tag, masked to
+// field widths.
+func TestDot1QProperty(t *testing.T) {
+	f := func(vid uint16, pcp uint8, dei bool) bool {
+		in := Dot1Q{PCP: pcp & 0x7, DEI: dei, VID: vid & 0x0fff, EtherType: EtherTypeIPv4}
+		b := NewSerializeBuffer()
+		if err := in.SerializeTo(b); err != nil {
+			return false
+		}
+		var out Dot1Q
+		if _, err := out.DecodeFrom(b.Bytes()); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package netsim
+
+import "math/rand"
+
+// RNG is a deterministic random stream. Each component that needs randomness
+// derives its own stream from the experiment seed plus a component label, so
+// adding a new consumer never perturbs the draws seen by existing ones.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG derives a stream from a base seed and a component label using an
+// FNV-1a mix. The same (seed, label) pair always yields the same stream.
+func NewRNG(seed int64, label string) *RNG {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	h ^= uint64(seed)
+	h *= prime64
+	return &RNG{rand.New(rand.NewSource(int64(h)))}
+}
+
+// Jitter returns a duration drawn uniformly from [-spread, +spread].
+func (r *RNG) Jitter(spread Duration) Duration {
+	if spread <= 0 {
+		return 0
+	}
+	return Duration(r.Int63n(int64(2*spread)+1) - int64(spread))
+}

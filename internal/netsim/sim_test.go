@@ -1,0 +1,242 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRun(t *testing.T) {
+	s := New()
+	s.Run()
+	if s.Now() != 0 {
+		t.Fatalf("empty run moved clock to %v", s.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("final time = %v, want 30", s.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-timestamp events reordered: got[%d]=%d", i, got[i])
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	s := New()
+	var inner Time
+	s.After(100*Nanosecond, func() {
+		s.After(50*Nanosecond, func() { inner = s.Now() })
+	})
+	s.Run()
+	if inner != Time(150*Nanosecond) {
+		t.Fatalf("nested After fired at %v, want 150ns", inner)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(10, func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double-cancel is a no-op
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after cancel", s.Pending())
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []int
+	events := make([]*Event, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		events = append(events, s.At(Time(i*10), func() { got = append(got, i) }))
+	}
+	s.Cancel(events[4])
+	s.Cancel(events[7])
+	s.Run()
+	if len(got) != 8 {
+		t.Fatalf("ran %d events, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d ran", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var ran []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { ran = append(ran, at) })
+	}
+	s.RunUntil(25)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events by t=25, want 2", len(ran))
+	}
+	if s.Now() != 25 {
+		t.Fatalf("clock = %v, want 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(ran) != 4 {
+		t.Fatalf("ran %d events total, want 4", len(ran))
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", s.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(25, func() { fired = true })
+	s.RunUntil(25)
+	if !fired {
+		t.Fatal("event at the deadline did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	n := 0
+	s.At(10, func() { n++; s.Stop() })
+	s.At(20, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", n)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run() // resume
+	if n != 2 {
+		t.Fatalf("resume ran %d events total, want 2", n)
+	}
+}
+
+func TestRunForAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunFor(Millisecond)
+	if s.Now() != Time(Millisecond) {
+		t.Fatalf("clock = %v, want 1ms", s.Now())
+	}
+}
+
+func TestTimeArith(t *testing.T) {
+	a := Time(1000)
+	if a.Add(500) != 1500 {
+		t.Fatal("Add")
+	}
+	if a.Sub(400) != 600 {
+		t.Fatal("Sub")
+	}
+	if Time(2e12).Seconds() != 2.0 {
+		t.Fatal("Seconds")
+	}
+	if Ns(6.4) != 6400 {
+		t.Fatalf("Ns(6.4) = %d, want 6400 ps", Ns(6.4))
+	}
+	if (2 * Microsecond).Nanoseconds() != 2000 {
+		t.Fatal("Duration.Nanoseconds")
+	}
+}
+
+// Property: for any set of schedule offsets, events execute in nondecreasing
+// timestamp order and the clock never moves backwards.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		var times []Time
+		for _, off := range offsets {
+			at := Time(off)
+			s.At(at, func() { times = append(times, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, "replicator")
+	b := NewRNG(42, "replicator")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed,label) streams diverged")
+		}
+	}
+	c := NewRNG(42, "editor")
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42, "replicator").Int63() != c.Int63() {
+			same = false
+			break
+		}
+		c = NewRNG(42, "editor") // reset both
+	}
+	_ = same // distinct labels *may* collide in theory; just ensure no panic
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(7, "jitter")
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(100 * Nanosecond)
+		if j < -100*Nanosecond || j > 100*Nanosecond {
+			t.Fatalf("jitter %v out of bounds", j)
+		}
+	}
+	if r.Jitter(0) != 0 {
+		t.Fatal("zero-spread jitter must be 0")
+	}
+}

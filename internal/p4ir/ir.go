@@ -1,0 +1,199 @@
+// Package p4ir models the P4 program that HyperTester's compiler generates:
+// table and action definitions, register declarations, and control flow. It
+// provides two consumers with a stable view of the program:
+//
+//   - a resource estimator following RMT-style stage accounting (match
+//     crossbar bytes, SRAM and TCAM blocks, VLIW instruction slots, hash
+//     bits, stateful ALUs, gateways), normalized against a switch.p4
+//     baseline — the methodology of the paper's Table 7;
+//   - a pretty-printer that renders P4-14-style source whose
+//     control/table/action line count is what the paper's Table 5 compares
+//     NTAPI against.
+package p4ir
+
+import "fmt"
+
+// MatchKind mirrors the table match types the estimator prices differently.
+type MatchKind string
+
+// Match kinds.
+const (
+	MatchExact   MatchKind = "exact"
+	MatchTernary MatchKind = "ternary"
+	MatchRange   MatchKind = "range"
+)
+
+// PipelineKind places a table in the ingress or egress pipeline.
+type PipelineKind string
+
+// Pipelines.
+const (
+	PipeIngress PipelineKind = "ingress"
+	PipeEgress  PipelineKind = "egress"
+)
+
+// OpKind enumerates primitive actions.
+type OpKind string
+
+// Primitive actions the generated programs use.
+const (
+	OpModifyField    OpKind = "modify_field"
+	OpAddToField     OpKind = "add_to_field"
+	OpRegisterRead   OpKind = "register_read"
+	OpRegisterWrite  OpKind = "register_write"
+	OpRegisterRMW    OpKind = "register_rmw" // stateful ALU program
+	OpHash           OpKind = "modify_field_with_hash_based_offset"
+	OpRandom         OpKind = "modify_field_rng_uniform"
+	OpGenerateDigest OpKind = "generate_digest"
+	OpRecirculate    OpKind = "recirculate"
+	OpMulticast      OpKind = "modify_field_mcast_grp"
+	OpDropPacket     OpKind = "drop"
+	OpNoOp           OpKind = "no_op"
+)
+
+// Op is one primitive action invocation.
+type Op struct {
+	Kind OpKind
+	Dst  string // destination field or register
+	Src  string // source expression (field, constant, register)
+	Bits int    // operand width in bits
+}
+
+// ActionDef is a compound action.
+type ActionDef struct {
+	Name string
+	Ops  []Op
+}
+
+// KeyDef is one match key of a table.
+type KeyDef struct {
+	Field string
+	Bits  int
+}
+
+// TableDef is a match-action table declaration.
+type TableDef struct {
+	Name     string
+	Pipeline PipelineKind
+	Match    MatchKind
+	Keys     []KeyDef
+	Actions  []string // names of ActionDefs
+	Size     int      // allocated entries
+}
+
+// RegisterDef is a register array declaration.
+type RegisterDef struct {
+	Name  string
+	Width int // bits per cell
+	Size  int // cells
+}
+
+// ControlStmt is one statement of the control flow: a table apply or a
+// gateway condition with nested statements.
+type ControlStmt struct {
+	Apply string        // table name, when this is an apply
+	If    string        // condition text, when this is a gateway
+	Then  []ControlStmt // nested under If
+	Else  []ControlStmt
+}
+
+// Program is a full generated data-plane program.
+type Program struct {
+	Name      string
+	Headers   []string // parsed header names, e.g. "ethernet", "ipv4", "tcp"
+	Actions   []*ActionDef
+	Tables    []*TableDef
+	Registers []*RegisterDef
+	Ingress   []ControlStmt
+	Egress    []ControlStmt
+}
+
+// AddAction registers an action and returns it for chaining.
+func (p *Program) AddAction(a *ActionDef) *ActionDef {
+	p.Actions = append(p.Actions, a)
+	return a
+}
+
+// AddTable registers a table.
+func (p *Program) AddTable(t *TableDef) *TableDef {
+	p.Tables = append(p.Tables, t)
+	return t
+}
+
+// AddRegister registers a register array.
+func (p *Program) AddRegister(r *RegisterDef) *RegisterDef {
+	p.Registers = append(p.Registers, r)
+	return r
+}
+
+// AddRegisterOnce registers a register array unless one with the same name
+// already exists (shared structures like the trigger FIFO).
+func (p *Program) AddRegisterOnce(r *RegisterDef) *RegisterDef {
+	if existing := p.register(r.Name); existing != nil {
+		return existing
+	}
+	return p.AddRegister(r)
+}
+
+// action looks an action up by name.
+func (p *Program) action(name string) *ActionDef {
+	for _, a := range p.Actions {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// register looks a register up by name.
+func (p *Program) register(name string) *RegisterDef {
+	for _, r := range p.Registers {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Validate checks internal references; the compiler calls it before
+// deploying a program.
+func (p *Program) Validate() error {
+	for _, t := range p.Tables {
+		for _, an := range t.Actions {
+			if p.action(an) == nil {
+				return fmt.Errorf("p4ir: table %s references unknown action %s", t.Name, an)
+			}
+		}
+		if t.Size < 0 {
+			return fmt.Errorf("p4ir: table %s has negative size", t.Name)
+		}
+	}
+	var checkCtl func(stmts []ControlStmt) error
+	checkCtl = func(stmts []ControlStmt) error {
+		for _, s := range stmts {
+			if s.Apply != "" {
+				found := false
+				for _, t := range p.Tables {
+					if t.Name == s.Apply {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("p4ir: control applies unknown table %s", s.Apply)
+				}
+			}
+			if err := checkCtl(s.Then); err != nil {
+				return err
+			}
+			if err := checkCtl(s.Else); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := checkCtl(p.Ingress); err != nil {
+		return err
+	}
+	return checkCtl(p.Egress)
+}

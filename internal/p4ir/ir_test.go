@@ -1,0 +1,227 @@
+package p4ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleProgram() *Program {
+	p := &Program{Name: "sample", Headers: []string{"ethernet", "ipv4", "tcp"}}
+	p.AddRegister(&RegisterDef{Name: "pkt_id", Width: 32, Size: 16})
+	p.AddAction(&ActionDef{Name: "set_port", Ops: []Op{
+		{Kind: OpModifyField, Dst: "tcp.dport", Src: "80", Bits: 16},
+	}})
+	p.AddAction(&ActionDef{Name: "bump", Ops: []Op{
+		{Kind: OpRegisterRMW, Dst: "pkt_id", Src: "+1", Bits: 32},
+	}})
+	p.AddTable(&TableDef{
+		Name: "editor", Pipeline: PipeEgress, Match: MatchExact,
+		Keys:    []KeyDef{{Field: "pkt_id_val", Bits: 32}},
+		Actions: []string{"set_port", "bump"},
+		Size:    128,
+	})
+	p.Egress = []ControlStmt{
+		{If: "valid(tcp)", Then: []ControlStmt{{Apply: "editor"}}},
+	}
+	return p
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateUnknownAction(t *testing.T) {
+	p := sampleProgram()
+	p.Tables[0].Actions = append(p.Tables[0].Actions, "ghost")
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+}
+
+func TestValidateUnknownTableInControl(t *testing.T) {
+	p := sampleProgram()
+	p.Ingress = []ControlStmt{{Apply: "missing"}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown table apply accepted")
+	}
+}
+
+func TestValidateNestedControl(t *testing.T) {
+	p := sampleProgram()
+	p.Ingress = []ControlStmt{{If: "x", Then: []ControlStmt{{If: "y", Else: []ControlStmt{{Apply: "nope"}}}}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("nested unknown table accepted")
+	}
+}
+
+func TestEstimateComponents(t *testing.T) {
+	p := sampleProgram()
+	r := Estimate(p)
+	if r.CrossbarBytes != 4 {
+		t.Errorf("crossbar = %d, want 4 (32-bit key)", r.CrossbarBytes)
+	}
+	if r.SALUs != 1 {
+		t.Errorf("SALUs = %d, want 1 (one register RMW)", r.SALUs)
+	}
+	if r.VLIWSlots != 2 {
+		t.Errorf("VLIW = %d, want 2", r.VLIWSlots)
+	}
+	if r.Gateways != 1 {
+		t.Errorf("gateways = %d, want 1", r.Gateways)
+	}
+	if r.SRAMBlocks <= 0 {
+		t.Errorf("SRAM = %v, want > 0", r.SRAMBlocks)
+	}
+	if r.TCAMBlocks != 0 {
+		t.Errorf("TCAM = %v, want 0 (no ternary)", r.TCAMBlocks)
+	}
+}
+
+func TestEstimateTernaryUsesTCAM(t *testing.T) {
+	p := &Program{Name: "acl"}
+	p.AddAction(&ActionDef{Name: "drop_it", Ops: []Op{{Kind: OpDropPacket}}})
+	p.AddTable(&TableDef{
+		Name: "acl", Match: MatchTernary,
+		Keys:    []KeyDef{{Field: "ipv4.dip", Bits: 32}},
+		Actions: []string{"drop_it"}, Size: 1024,
+	})
+	r := Estimate(p)
+	if r.TCAMBlocks <= 0 {
+		t.Fatal("ternary table used no TCAM")
+	}
+}
+
+func TestEstimateRangeCostsMoreTCAM(t *testing.T) {
+	mk := func(kind MatchKind) Resources {
+		p := &Program{}
+		p.AddAction(&ActionDef{Name: "a", Ops: []Op{{Kind: OpNoOp}}})
+		p.AddTable(&TableDef{Name: "t", Match: kind,
+			Keys: []KeyDef{{Field: "f", Bits: 16}}, Actions: []string{"a"}, Size: 4096})
+		return Estimate(p)
+	}
+	if mk(MatchRange).TCAMBlocks <= mk(MatchTernary).TCAMBlocks {
+		t.Fatal("range expansion should cost more TCAM than plain ternary")
+	}
+}
+
+func TestEstimateAdditive(t *testing.T) {
+	p := sampleProgram()
+	single := Estimate(p)
+	// Duplicate every table/action/register under new names: usage doubles.
+	p2 := sampleProgram()
+	p2.AddRegister(&RegisterDef{Name: "pkt_id2", Width: 32, Size: 16})
+	p2.AddAction(&ActionDef{Name: "set_port2", Ops: []Op{{Kind: OpModifyField, Dst: "d", Src: "s", Bits: 16}}})
+	p2.AddAction(&ActionDef{Name: "bump2", Ops: []Op{{Kind: OpRegisterRMW, Dst: "pkt_id2", Src: "+1", Bits: 32}}})
+	p2.AddTable(&TableDef{Name: "editor2", Match: MatchExact,
+		Keys: []KeyDef{{Field: "k", Bits: 32}}, Actions: []string{"set_port2", "bump2"}, Size: 128})
+	p2.Egress = append(p2.Egress, ControlStmt{If: "valid(tcp)", Then: []ControlStmt{{Apply: "editor2"}}})
+	double := Estimate(p2)
+	if double.SALUs != 2*single.SALUs || double.VLIWSlots != 2*single.VLIWSlots ||
+		double.Gateways != 2*single.Gateways {
+		t.Fatalf("estimate not additive: %+v vs %+v", single, double)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	r := Resources{CrossbarBytes: 8, SRAMBlocks: 5.93, SALUs: 1, Gateways: 1}
+	n := r.Normalize(SwitchP4Baseline)
+	if n.Crossbar != 100*8.0/800 {
+		t.Fatalf("crossbar pct = %v", n.Crossbar)
+	}
+	if n.SALU < 5.5 || n.SALU > 5.6 {
+		t.Fatalf("salu pct = %v, want ~5.56 (1 of 18)", n.SALU)
+	}
+	if n.TCAM != 0 {
+		t.Fatalf("tcam pct = %v", n.TCAM)
+	}
+	if !strings.Contains(n.String(), "salu=") {
+		t.Fatal("String format")
+	}
+}
+
+func TestNormalizeZeroBase(t *testing.T) {
+	n := Resources{CrossbarBytes: 5}.Normalize(Resources{})
+	if n.Crossbar != 0 {
+		t.Fatal("division by zero base must yield 0")
+	}
+}
+
+func TestPrintAndCountedLoC(t *testing.T) {
+	p := sampleProgram()
+	src := Print(p)
+	for _, want := range []string{"table editor", "action set_port", "control egress",
+		"apply(editor);", "register pkt_id", "if (valid(tcp))"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("printed source missing %q", want)
+		}
+	}
+	loc := CountedLoC(p)
+	if loc < 15 || loc > 40 {
+		t.Fatalf("counted LoC = %d, expected a small table/action/control count", loc)
+	}
+	// Parser lines must not be counted.
+	srcLines := strings.Count(src, "\n")
+	if loc >= srcLines {
+		t.Fatal("CountedLoC should exclude parser/blank/comment lines")
+	}
+}
+
+func TestCountedLoCGrowsWithProgram(t *testing.T) {
+	p := sampleProgram()
+	base := CountedLoC(p)
+	p.AddAction(&ActionDef{Name: "extra", Ops: []Op{{Kind: OpNoOp}}})
+	p.AddTable(&TableDef{Name: "t2", Match: MatchExact,
+		Keys: []KeyDef{{Field: "x", Bits: 8}}, Actions: []string{"extra"}, Size: 1})
+	if CountedLoC(p) <= base {
+		t.Fatal("LoC did not grow with added table")
+	}
+}
+
+func TestPrintP416(t *testing.T) {
+	p := sampleProgram()
+	src := PrintP416(p)
+	for _, want := range []string{
+		"#include <tna.p4>", "Register<bit<32>, bit<32>>(16) pkt_id;",
+		"control Ingress", "control Egress", "table editor",
+		"editor.apply();", "if (valid(tcp))", "action set_port()",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("P4-16 output missing %q", want)
+		}
+	}
+	// Egress-only actions must not appear in the ingress control.
+	ing := src[strings.Index(src, "control Ingress"):strings.Index(src, "control Egress")]
+	if strings.Contains(ing, "action set_port") {
+		t.Error("egress action leaked into ingress control")
+	}
+}
+
+func TestPrintP416AllOps(t *testing.T) {
+	p := &Program{Name: "ops"}
+	ops := []Op{
+		{Kind: OpModifyField, Dst: "a", Src: "b"},
+		{Kind: OpAddToField, Dst: "a", Src: "1"},
+		{Kind: OpRegisterRead, Dst: "r", Src: "i"},
+		{Kind: OpRegisterWrite, Dst: "r", Src: "v"},
+		{Kind: OpRegisterRMW, Dst: "r", Src: "+1"},
+		{Kind: OpHash, Dst: "h", Src: "key"},
+		{Kind: OpRandom, Dst: "x", Src: "0..255"},
+		{Kind: OpGenerateDigest, Dst: "d"},
+		{Kind: OpRecirculate},
+		{Kind: OpMulticast, Src: "3"},
+		{Kind: OpDropPacket},
+		{Kind: OpNoOp},
+	}
+	p.AddAction(&ActionDef{Name: "everything", Ops: ops})
+	p.AddTable(&TableDef{Name: "t", Pipeline: PipeIngress, Match: MatchExact,
+		Keys: []KeyDef{{Field: "k", Bits: 8}}, Actions: []string{"everything"}, Size: 1})
+	p.Ingress = []ControlStmt{{Apply: "t"}}
+	src := PrintP416(p)
+	for _, want := range []string{"mcast_grp_a = 3", "drop_ctl = 1", "RECIRC_PORT", "digest_type"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("P4-16 ops output missing %q", want)
+		}
+	}
+}

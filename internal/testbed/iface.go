@@ -1,0 +1,122 @@
+// Package testbed assembles evaluation topologies: device network
+// interfaces, cables with serialization and propagation delay, rate/latency
+// meters, and the devices under test the paper's experiments need — a
+// forwarding switch, stateful TCP/HTTP servers, scan targets and reflectors.
+// The reference topology mirrors Fig. 8 (two Tofino switches, two servers,
+// 100/40/10 Gbps cables).
+package testbed
+
+import (
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+)
+
+// Attach is anything a cable can plug into: a switch port or a device
+// interface. SetPeer installs the far end; Deliver accepts a frame arriving
+// off the wire now.
+type Attach interface {
+	SetPeer(fn func(pkt *netproto.Packet, at netsim.Time))
+	Deliver(pkt *netproto.Packet)
+}
+
+// Iface is a device-side network interface (a NIC port): it serializes
+// outgoing frames at its rate and hands incoming frames to the device.
+type Iface struct {
+	Name string
+	Gbps float64
+
+	sim  *netsim.Sim
+	peer func(pkt *netproto.Packet, at netsim.Time)
+	recv func(pkt *netproto.Packet)
+
+	txBusyUntil netsim.Time
+
+	// Counters.
+	TxPackets, TxBytes uint64
+	RxPackets, RxBytes uint64
+}
+
+// NewIface builds an interface with the given line rate.
+func NewIface(sim *netsim.Sim, name string, gbps float64) *Iface {
+	return &Iface{Name: name, Gbps: gbps, sim: sim}
+}
+
+// SetPeer implements Attach.
+func (i *Iface) SetPeer(fn func(pkt *netproto.Packet, at netsim.Time)) { i.peer = fn }
+
+// OnReceive installs the device's frame handler.
+func (i *Iface) OnReceive(fn func(pkt *netproto.Packet)) { i.recv = fn }
+
+// Deliver implements Attach: a frame has fully arrived now.
+func (i *Iface) Deliver(pkt *netproto.Packet) {
+	i.RxPackets++
+	i.RxBytes += uint64(pkt.Len())
+	pkt.Meta.IngressPs = int64(i.sim.Now())
+	if i.recv != nil {
+		i.recv(pkt)
+	}
+}
+
+// Send serializes a frame onto the wire at the interface rate and delivers
+// it to the peer when the last bit leaves.
+func (i *Iface) Send(pkt *netproto.Packet) {
+	now := i.sim.Now()
+	start := i.txBusyUntil
+	if start < now {
+		start = now
+	}
+	end := start.Add(netsim.Ns(netproto.WireTimeNs(pkt.Len(), i.Gbps)))
+	i.txBusyUntil = end
+	i.sim.At(end, func() {
+		i.TxPackets++
+		i.TxBytes += uint64(pkt.Len())
+		pkt.Meta.EgressPs = int64(end)
+		if i.peer != nil {
+			i.peer(pkt, end)
+		}
+	})
+}
+
+// Connect joins two attachment points with a full-duplex cable of the given
+// propagation delay.
+func Connect(sim *netsim.Sim, a, b Attach, propagation netsim.Duration) {
+	a.SetPeer(func(pkt *netproto.Packet, at netsim.Time) {
+		sim.At(at.Add(propagation), func() { b.Deliver(pkt) })
+	})
+	b.SetPeer(func(pkt *netproto.Packet, at netsim.Time) {
+		sim.At(at.Add(propagation), func() { a.Deliver(pkt) })
+	})
+}
+
+// DefaultCableDelay is the propagation delay of a short DAC cable.
+const DefaultCableDelay = 5 * netsim.Nanosecond
+
+// ConnectLossy joins two attachment points with a cable that drops each
+// frame independently with the given probability — the substrate for
+// packet-loss measurement tasks (§1 names loss measurement as a core
+// network-tester duty).
+func ConnectLossy(sim *netsim.Sim, a, b Attach, propagation netsim.Duration, lossRate float64, seed int64) *LossyLink {
+	l := &LossyLink{rng: netsim.NewRNG(seed, "lossy-link"), rate: lossRate}
+	forward := func(dst Attach) func(pkt *netproto.Packet, at netsim.Time) {
+		return func(pkt *netproto.Packet, at netsim.Time) {
+			if l.rng.Float64() < l.rate {
+				l.Dropped++
+				return
+			}
+			l.Delivered++
+			sim.At(at.Add(propagation), func() { dst.Deliver(pkt) })
+		}
+	}
+	a.SetPeer(forward(b))
+	b.SetPeer(forward(a))
+	return l
+}
+
+// LossyLink reports what a lossy cable did.
+type LossyLink struct {
+	rng  *netsim.RNG
+	rate float64
+
+	Dropped   uint64
+	Delivered uint64
+}

@@ -1,0 +1,53 @@
+package testbed
+
+import (
+	"github.com/hypertester/hypertester/internal/asic"
+	"github.com/hypertester/hypertester/internal/netsim"
+)
+
+// PaperTestbed assembles the evaluation topology of the paper's Fig. 8: a
+// tester switch wired to a second programmable switch (the device under
+// test) over 100 Gbps cables, and two commodity servers hanging off the DUT
+// on 40 and 10 Gbps links. The tester switch itself is created by the
+// caller (usually via the hypertester facade) so a task can be loaded on
+// it; this builder wires everything else.
+type PaperTestbed struct {
+	// DUT is the second Tofino-class switch, forwarding tester ports
+	// through to the servers and looping the rest back.
+	DUT *asic.Switch
+
+	// Server1 (40G) and Server2 (10G) stand in for the two commodity
+	// servers; they terminate traffic and measure it.
+	Server1 *Sink
+	Server2 *Sink
+
+	// Loop counts frames the DUT sent back towards the tester.
+	Loop *Sink
+}
+
+// DUT port map for the Fig. 8 wiring.
+const (
+	dutFromTester0 = 0 // 100G from tester port 0
+	dutFromTester1 = 1 // 100G from tester port 1
+	dutToServer1   = 2 // 40G to server 1
+	dutToServer2   = 3 // 10G to server 2
+)
+
+// NewPaperTestbed wires the Fig. 8 topology around a tester switch's ports
+// 0 and 1: tester:0 → DUT → server1 (40G), tester:1 → DUT → server2 (10G).
+func NewPaperTestbed(sim *netsim.Sim, tester *asic.Switch, seed int64) *PaperTestbed {
+	tb := &PaperTestbed{}
+	tb.DUT = NewForwardingDUT(sim, "dut", []float64{100, 100, 40, 10},
+		map[int]int{
+			dutFromTester0: dutToServer1,
+			dutFromTester1: dutToServer2,
+		}, seed)
+	tb.Server1 = NewSink(sim, "server1", 40)
+	tb.Server2 = NewSink(sim, "server2", 10)
+
+	Connect(sim, tester.Port(0), tb.DUT.Port(dutFromTester0), DefaultCableDelay)
+	Connect(sim, tester.Port(1), tb.DUT.Port(dutFromTester1), DefaultCableDelay)
+	Connect(sim, tb.DUT.Port(dutToServer1), tb.Server1.Iface, DefaultCableDelay)
+	Connect(sim, tb.DUT.Port(dutToServer2), tb.Server2.Iface, DefaultCableDelay)
+	return tb
+}

@@ -1,0 +1,62 @@
+package testbed
+
+import (
+	"io"
+
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+)
+
+// Player replays captured frames into an attachment point with their
+// original relative timing. The paper notes the *generation* side cannot do
+// trace replay (template extraction is impossible, §6.2) — but the receive
+// side can absolutely be exercised with recorded traffic, which is how the
+// query engine is tested against realistic captures.
+type Player struct {
+	frames []CapturedFrame
+	sim    *netsim.Sim
+
+	// Speedup scales replay timing (2.0 = twice as fast).
+	Speedup float64
+
+	// Replayed counts frames delivered.
+	Replayed uint64
+}
+
+// NewPlayer builds a player over frames (e.g. from ReadPcap).
+func NewPlayer(sim *netsim.Sim, frames []CapturedFrame) *Player {
+	return &Player{frames: frames, sim: sim, Speedup: 1}
+}
+
+// NewPlayerFromPcap reads a pcap stream and builds a player.
+func NewPlayerFromPcap(sim *netsim.Sim, r io.Reader) (*Player, error) {
+	frames, err := ReadPcap(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlayer(sim, frames), nil
+}
+
+// ReplayInto schedules every frame for delivery to dst, preserving the
+// capture's inter-frame gaps (scaled by Speedup) and starting now.
+func (p *Player) ReplayInto(dst Attach) {
+	if len(p.frames) == 0 {
+		return
+	}
+	start := p.sim.Now()
+	base := p.frames[0].At
+	speed := p.Speedup
+	if speed <= 0 {
+		speed = 1
+	}
+	for i := range p.frames {
+		f := p.frames[i]
+		offset := netsim.Duration(float64(f.At.Sub(base)) / speed)
+		p.sim.At(start.Add(offset), func() {
+			data := make([]byte, len(f.Data))
+			copy(data, f.Data)
+			dst.Deliver(&netproto.Packet{Data: data})
+			p.Replayed++
+		})
+	}
+}
