@@ -2,13 +2,13 @@ package hypertester_test
 
 // One benchmark per table and figure of the paper's evaluation (§7).
 // `go test -bench=. -benchmem` regenerates every result; each benchmark
-// prints its paper-style table once and reports a headline number as a
-// custom metric. Quick-mode experiment windows keep the suite fast; run
+// prints its paper-style table once and reports the experiment's headline
+// number (shared with cmd/htbench via experiments.Headline) as a custom
+// metric. Quick-mode experiment windows keep the suite fast; run
 // cmd/htbench without -quick for tighter statistics.
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 	"testing"
 
@@ -18,9 +18,10 @@ import (
 var benchCfg = experiments.Config{Quick: true, Seed: 1}
 
 // runExperiment executes fn once per benchmark invocation, prints the table
-// on the first run, and lets the caller extract a headline metric.
-func runExperiment(b *testing.B, fn func(experiments.Config) *experiments.Result,
-	metric func(*experiments.Result) (float64, string)) {
+// on the first run, and reports the experiment's headline metric. A result
+// whose headline cell is missing or unparseable FAILS the benchmark — a
+// broken experiment must not report a fake 0 as its number of record.
+func runExperiment(b *testing.B, fn func(experiments.Config) *experiments.Result) {
 	b.Helper()
 	var res *experiments.Result
 	for i := 0; i < b.N; i++ {
@@ -35,137 +36,49 @@ func runExperiment(b *testing.B, fn func(experiments.Config) *experiments.Result
 		}
 	}
 	b.StopTimer()
-	if v, unit := metric(res); unit != "" {
-		b.ReportMetric(v, unit)
+	v, unit, err := experiments.Headline(res)
+	if err != nil {
+		b.Fatalf("headline metric: %v", err)
 	}
+	b.ReportMetric(v, unit)
 	b.Logf("\n%s", res.String())
 }
 
-// cell parses a leading float out of a result cell like "100.0" or "4.50 Mbps".
-func cell(res *experiments.Result, row, col int) float64 {
-	if row >= len(res.Rows) || col >= len(res.Rows[row].Values) {
-		return 0
-	}
-	f := strings.Fields(res.Rows[row].Values[col])
-	if len(f) == 0 {
-		return 0
-	}
-	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(f[0], "%"), "x"), 64)
-	if err != nil {
-		return 0
-	}
-	return v
-}
-
-func BenchmarkTable5_LoC(b *testing.B) {
-	runExperiment(b, experiments.Table5LoC, func(r *experiments.Result) (float64, string) {
-		return cell(r, 0, 0), "NTAPI-LoC"
-	})
-}
-
-func BenchmarkFig9_SinglePortThroughput(b *testing.B) {
-	runExperiment(b, experiments.Fig9SinglePort, func(r *experiments.Result) (float64, string) {
-		return cell(r, 0, 0), "Gbps-64B@100G"
-	})
-}
-
-func BenchmarkFig10_MultiPort(b *testing.B) {
-	runExperiment(b, experiments.Fig10MultiPort, func(r *experiments.Result) (float64, string) {
-		return cell(r, len(r.Rows)-1, 0), "Gbps-aggregate"
-	})
-}
-
+func BenchmarkTable5_LoC(b *testing.B)                { runExperiment(b, experiments.Table5LoC) }
+func BenchmarkFig9_SinglePortThroughput(b *testing.B) { runExperiment(b, experiments.Fig9SinglePort) }
+func BenchmarkFig10_MultiPort(b *testing.B)           { runExperiment(b, experiments.Fig10MultiPort) }
 func BenchmarkFig11_RateControl40G(b *testing.B) {
-	runExperiment(b, experiments.Fig11RateControl40G, func(r *experiments.Result) (float64, string) {
-		return cell(r, 1, 0), "ns-HT-MAE-1Mpps"
-	})
+	runExperiment(b, experiments.Fig11RateControl40G)
 }
-
 func BenchmarkFig12_RateControl100G(b *testing.B) {
-	runExperiment(b, experiments.Fig12RateControl100G, func(r *experiments.Result) (float64, string) {
-		return cell(r, 1, 0), "ns-MAE-1Mpps"
-	})
+	runExperiment(b, experiments.Fig12RateControl100G)
 }
-
-func BenchmarkFig13_RandomQQ(b *testing.B) {
-	runExperiment(b, experiments.Fig13RandomQQ, func(r *experiments.Result) (float64, string) {
-		return cell(r, 0, 0), "QQ-corr-normal"
-	})
-}
-
-func BenchmarkFig14_Accelerator(b *testing.B) {
-	runExperiment(b, experiments.Fig14Accelerator, func(r *experiments.Result) (float64, string) {
-		return cell(r, 0, 0), "ns-RTT-64B"
-	})
-}
-
-func BenchmarkFig15_Replicator(b *testing.B) {
-	runExperiment(b, experiments.Fig15Replicator, func(r *experiments.Result) (float64, string) {
-		return cell(r, 0, 0), "ns-mcast-64B"
-	})
-}
-
+func BenchmarkFig13_RandomQQ(b *testing.B)    { runExperiment(b, experiments.Fig13RandomQQ) }
+func BenchmarkFig14_Accelerator(b *testing.B) { runExperiment(b, experiments.Fig14Accelerator) }
+func BenchmarkFig15_Replicator(b *testing.B)  { runExperiment(b, experiments.Fig15Replicator) }
 func BenchmarkFig16_StatCollection(b *testing.B) {
-	runExperiment(b, experiments.Fig16StatCollection, func(r *experiments.Result) (float64, string) {
-		return cell(r, 4, 0), "Mbps-digest-256B"
-	})
+	runExperiment(b, experiments.Fig16StatCollection)
 }
-
-func BenchmarkFig17_ExactMatch(b *testing.B) {
-	runExperiment(b, experiments.Fig17ExactMatch, func(r *experiments.Result) (float64, string) {
-		return cell(r, len(r.Rows)-1, 0), "entries-16b"
-	})
-}
-
-func BenchmarkTable6_Cost(b *testing.B) {
-	runExperiment(b, experiments.Table6Cost, func(r *experiments.Result) (float64, string) {
-		return cell(r, 2, 0), "USD-saved-per-Tbps"
-	})
-}
-
-func BenchmarkTable7_Resources(b *testing.B) {
-	runExperiment(b, experiments.Table7Resources, func(r *experiments.Result) (float64, string) {
-		return cell(r, len(r.Rows)-1, 5), "pct-SALU-reduce"
-	})
-}
-
-func BenchmarkTable8_SynFlood(b *testing.B) {
-	runExperiment(b, experiments.Table8SynFlood, func(r *experiments.Result) (float64, string) {
-		return cell(r, 0, 0), "Gbps-testbed"
-	})
-}
-
+func BenchmarkFig17_ExactMatch(b *testing.B) { runExperiment(b, experiments.Fig17ExactMatch) }
+func BenchmarkTable6_Cost(b *testing.B)      { runExperiment(b, experiments.Table6Cost) }
+func BenchmarkTable7_Resources(b *testing.B) { runExperiment(b, experiments.Table7Resources) }
+func BenchmarkTable8_SynFlood(b *testing.B)  { runExperiment(b, experiments.Table8SynFlood) }
 func BenchmarkFig18_DelayTesting(b *testing.B) {
-	runExperiment(b, experiments.Fig18DelayTesting, func(r *experiments.Result) (float64, string) {
-		return cell(r, 0, 0), "ns-HT-HW-mean"
-	})
+	runExperiment(b, experiments.Fig18DelayTesting)
 }
-
 func BenchmarkAblationA_SketchAccuracy(b *testing.B) {
-	runExperiment(b, experiments.AblationSketchAccuracy, func(r *experiments.Result) (float64, string) {
-		return cell(r, 0, 0), "counter-err-keys"
-	})
+	runExperiment(b, experiments.AblationSketchAccuracy)
 }
-
 func BenchmarkAblationB_CuckooOccupancy(b *testing.B) {
-	runExperiment(b, experiments.AblationCuckooOccupancy, func(r *experiments.Result) (float64, string) {
-		return cell(r, 2, 0), "pct-onchip-0.75"
-	})
+	runExperiment(b, experiments.AblationCuckooOccupancy)
 }
-
 func BenchmarkAblationC_Amplification(b *testing.B) {
-	runExperiment(b, experiments.AblationTemplateAmplification, func(r *experiments.Result) (float64, string) {
-		return cell(r, 2, 0), "amplification-x"
-	})
+	runExperiment(b, experiments.AblationTemplateAmplification)
 }
+func BenchmarkCaseStudy_WebScale(b *testing.B) { runExperiment(b, experiments.CaseWebScale) }
 
-func BenchmarkCaseStudy_WebScale(b *testing.B) {
-	runExperiment(b, experiments.CaseWebScale, func(r *experiments.Result) (float64, string) {
-		return cell(r, 1, 0), "handshakes-per-s"
-	})
-}
-
-// Sanity check that every experiment is wired into All.
+// Sanity check that every experiment is wired into All and the parallel
+// runner returns them in paper order.
 func TestAllExperimentsRun(t *testing.T) {
 	results := experiments.All(experiments.Config{Quick: true, Seed: 1})
 	if len(results) != 18 {

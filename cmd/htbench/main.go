@@ -1,69 +1,192 @@
 // Command htbench regenerates every table and figure of the paper's
-// evaluation (§7) on the simulated testbed and prints the results in
-// paper-style rows.
+// evaluation (§7) on the simulated testbed, prints the results in
+// paper-style rows, and writes a machine-readable BENCH_results.json so the
+// suite's performance trajectory can be tracked across commits.
 //
 // Usage:
 //
-//	htbench [-quick] [-seed N] [-run substr]
+//	htbench [-quick] [-seed N] [-run substr] [-workers N]
+//	        [-json file] [-cpuprofile file] [-memprofile file]
 //
 // -run selects experiments whose ID contains the substring (e.g. "Fig. 11"
-// or "Table"); the default runs everything in paper order.
+// or "Table"); the default runs everything in paper order. Experiments fan
+// out across -workers goroutines (default GOMAXPROCS; results are
+// bit-identical to -workers 1 — each experiment owns its simulator and
+// seeded RNG streams). Per-experiment allocation counts are only recorded
+// with -workers 1, where the runtime's allocation counters are attributable
+// to a single experiment at a time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/hypertester/hypertester/internal/experiments"
 )
 
+// expReport is one experiment's entry in BENCH_results.json.
+type expReport struct {
+	ID            string  `json:"id"`
+	Title         string  `json:"title"`
+	HeadlineValue float64 `json:"headline_value"`
+	HeadlineUnit  string  `json:"headline_unit"`
+	WallSeconds   float64 `json:"wall_s"`
+	NsPerOp       float64 `json:"ns_op"`
+	// AllocsPerOp is the experiment's heap-allocation count; present only
+	// when the suite ran with -workers 1.
+	AllocsPerOp *uint64 `json:"allocs_op,omitempty"`
+}
+
+// benchReport is the top-level BENCH_results.json document.
+type benchReport struct {
+	GeneratedUnix    int64       `json:"generated_unix"`
+	Quick            bool        `json:"quick"`
+	Seed             int64       `json:"seed"`
+	Workers          int         `json:"workers"`
+	GOMAXPROCS       int         `json:"gomaxprocs"`
+	TotalWallSeconds float64     `json:"total_wall_s"`
+	Experiments      []expReport `json:"experiments"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink measurement windows and sweeps")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	run := flag.String("run", "", "only run experiments whose ID contains this substring")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "experiment worker-pool size")
+	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results here (empty to disable)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a heap profile here (captured after the run)")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
-	type entry struct {
-		id string
-		fn func(experiments.Config) *experiments.Result
-	}
-	all := []entry{
-		{"Table 5", experiments.Table5LoC},
-		{"Fig. 9", experiments.Fig9SinglePort},
-		{"Fig. 10", experiments.Fig10MultiPort},
-		{"Fig. 11", experiments.Fig11RateControl40G},
-		{"Fig. 12", experiments.Fig12RateControl100G},
-		{"Fig. 13", experiments.Fig13RandomQQ},
-		{"Fig. 14", experiments.Fig14Accelerator},
-		{"Fig. 15", experiments.Fig15Replicator},
-		{"Fig. 16", experiments.Fig16StatCollection},
-		{"Fig. 17", experiments.Fig17ExactMatch},
-		{"Table 6", experiments.Table6Cost},
-		{"Table 7", experiments.Table7Resources},
-		{"Table 8", experiments.Table8SynFlood},
-		{"Fig. 18", experiments.Fig18DelayTesting},
-		{"Ablation A", experiments.AblationSketchAccuracy},
-		{"Ablation B", experiments.AblationCuckooOccupancy},
-		{"Ablation C", experiments.AblationTemplateAmplification},
-		{"Case study", experiments.CaseWebScale},
-	}
-	ran := 0
-	for _, e := range all {
-		if *run != "" && !strings.Contains(e.id, *run) {
-			continue
+
+	var specs []experiments.Spec
+	for _, sp := range experiments.Specs() {
+		if *run == "" || strings.Contains(sp.ID, *run) {
+			specs = append(specs, sp)
 		}
-		start := time.Now()
-		res := e.fn(cfg)
-		ran++
-		fmt.Println(res.String())
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	}
-	if ran == 0 {
+	if len(specs) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches -run %q\n", *run)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *workers < 1 {
+		*workers = 1
+	}
+	sequential := *workers == 1
+
+	// Wrap each spec to record its own wall clock (and, when running
+	// sequentially, its allocation count) without perturbing the runner.
+	reports := make([]expReport, len(specs))
+	wrapped := make([]experiments.Spec, len(specs))
+	var mu sync.Mutex // guards ReadMemStats bracketing in sequential mode
+	for i, sp := range specs {
+		i, sp := i, sp
+		wrapped[i] = experiments.Spec{ID: sp.ID, Fn: func(c experiments.Config) *experiments.Result {
+			var m0 runtime.MemStats
+			if sequential {
+				mu.Lock()
+				runtime.ReadMemStats(&m0)
+			}
+			t0 := time.Now()
+			res := sp.Fn(c)
+			wall := time.Since(t0)
+			reports[i].WallSeconds = wall.Seconds()
+			reports[i].NsPerOp = float64(wall.Nanoseconds())
+			if sequential {
+				var m1 runtime.MemStats
+				runtime.ReadMemStats(&m1)
+				allocs := m1.Mallocs - m0.Mallocs
+				reports[i].AllocsPerOp = &allocs
+				mu.Unlock()
+			}
+			return res
+		}}
+	}
+
+	prevMaxProcs := runtime.GOMAXPROCS(0)
+	if *workers < prevMaxProcs {
+		// Bound the pool by shrinking GOMAXPROCS for the run; Run sizes
+		// its pool from it.
+		runtime.GOMAXPROCS(*workers)
+		defer runtime.GOMAXPROCS(prevMaxProcs)
+	}
+
+	t0 := time.Now()
+	results := experiments.Run(cfg, wrapped)
+	total := time.Since(t0)
+
+	for i, res := range results {
+		reports[i].ID = res.ID
+		reports[i].Title = res.Title
+		v, unit, err := experiments.Headline(res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "headline: %v\n", err)
+			os.Exit(1)
+		}
+		reports[i].HeadlineValue = v
+		reports[i].HeadlineUnit = unit
+		fmt.Println(res.String())
+		fmt.Printf("(%.1fs)\n\n", reports[i].WallSeconds)
+	}
+	fmt.Printf("%d experiments in %.1fs (%d workers)\n", len(results), total.Seconds(), *workers)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if *jsonPath != "" {
+		doc := benchReport{
+			GeneratedUnix:    time.Now().Unix(),
+			Quick:            *quick,
+			Seed:             *seed,
+			Workers:          *workers,
+			GOMAXPROCS:       prevMaxProcs,
+			TotalWallSeconds: total.Seconds(),
+			Experiments:      reports,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

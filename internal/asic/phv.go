@@ -43,10 +43,28 @@ type PHV struct {
 // NewPHV parses pkt into a fresh PHV. Parse errors leave the successfully
 // decoded outer layers available, as the hardware parser would.
 func NewPHV(pkt *netproto.Packet) *PHV {
-	p := &PHV{Pkt: pkt, FrameLen: pkt.Len(), Meta: pkt.Meta, EgressPort: -1}
+	p := &PHV{}
+	p.init(pkt)
+	return p
+}
+
+// init (re)parses pkt into p, resetting every pipeline-visible field. It is
+// the reuse path behind the switch's PHV pool: Stack.Decode overwrites the
+// previous packet's layers and resets the decoded-layer list in place, so a
+// recycled PHV behaves exactly like a fresh one without reallocating.
+func (p *PHV) init(pkt *netproto.Packet) {
+	p.Pkt = pkt
+	p.FrameLen = pkt.Len()
+	p.Meta = pkt.Meta
+	p.EgressPort = -1
+	p.McastGroup = 0
+	p.Drop = false
+	p.Recirculate = false
+	p.DigestData = nil
+	p.Dirty = false
+	p.Scratch = [8]uint64{}
 	// The parser stops at unknown layers without failing the packet.
 	_ = p.Stack.Decode(pkt.Data)
-	return p
 }
 
 // Has reports whether the parser extracted the given layer.

@@ -44,7 +44,8 @@ const DefaultMaxBacklog = 50 * netsim.Microsecond
 func (pt *Port) SetPeer(fn func(pkt *netproto.Packet, at netsim.Time)) { pt.peer = fn }
 
 // Transmit enqueues a frame for serialization at the port rate. It is called
-// by the switch at egress-pipeline completion time.
+// by the switch at egress-pipeline completion time. A tail-dropped frame's
+// journey ends inside the switch, so its buffer returns to the packet pool.
 func (pt *Port) Transmit(pkt *netproto.Packet) {
 	sim := pt.sw.sim
 	now := sim.Now()
@@ -58,31 +59,37 @@ func (pt *Port) Transmit(pkt *netproto.Packet) {
 	}
 	if start.Sub(now) > maxBacklog {
 		pt.TxDrops++
+		pkt.Release()
 		return
 	}
 	wire := netsim.Ns(netproto.WireTimeNs(pkt.Len(), pt.Gbps))
 	end := start.Add(wire)
 	pt.txBusyUntil = end
-	sim.At(end, func() {
-		pt.TxPackets++
-		pt.TxBytes += uint64(pkt.Len())
-		pkt.Meta.EgressPs = int64(end)
-		if pt.Loopback {
-			pt.Receive(pkt)
-			return
-		}
-		// The internal bridge header (template ID, replication metadata,
-		// trigger records) is removed by the deparser before the frame
-		// hits a real wire.
-		pkt.Meta.TemplateID = 0
-		pkt.Meta.Replica = false
-		pkt.Meta.ReplicaID = 0
-		pkt.Meta.SeqID = 0
-		pkt.Meta.Record = nil
-		if pt.peer != nil {
-			pt.peer(pkt, end)
-		}
-	})
+	sim.AtCall(end, runTxDoneJob, pt.sw.job(pkt, pt))
+}
+
+// txDone runs when the last bit of pkt leaves the port (the scheduled end of
+// serialization, so the current virtual time IS the egress timestamp).
+func (pt *Port) txDone(pkt *netproto.Packet) {
+	end := pt.sw.sim.Now()
+	pt.TxPackets++
+	pt.TxBytes += uint64(pkt.Len())
+	pkt.Meta.EgressPs = int64(end)
+	if pt.Loopback {
+		pt.Receive(pkt)
+		return
+	}
+	// The internal bridge header (template ID, replication metadata,
+	// trigger records) is removed by the deparser before the frame
+	// hits a real wire.
+	pkt.Meta.TemplateID = 0
+	pkt.Meta.Replica = false
+	pkt.Meta.ReplicaID = 0
+	pkt.Meta.SeqID = 0
+	pkt.Meta.Record = nil
+	if pt.peer != nil {
+		pt.peer(pkt, end)
+	}
 }
 
 // Receive accepts a frame arriving on the wire now. The MAC stamps the
@@ -94,9 +101,8 @@ func (pt *Port) Receive(pkt *netproto.Packet) {
 	pt.RxBytes += uint64(pkt.Len())
 	pkt.Meta.IngressPs = int64(sim.Now())
 	pkt.Meta.InPort = pt.ID
-	sim.After(netsim.Duration(IngressLatencyNs)*netsim.Nanosecond, func() {
-		pt.sw.ingress(pkt)
-	})
+	sim.AfterCall(netsim.Duration(IngressLatencyNs)*netsim.Nanosecond,
+		runIngressJob, pt.sw.job(pkt, nil))
 }
 
 // Utilization returns transmitted bits / (rate × elapsed) over the given

@@ -48,8 +48,12 @@ type Switch struct {
 	DigestOut func(data []byte, at netsim.Time)
 
 	digestBusyUntil netsim.Time
-	digestQueue     [][]byte
+	digestQueue     digestRing
 	digestDraining  bool
+
+	// Hot-path object pools (see pool.go). Single-threaded with the Sim.
+	phvFree []*PHV
+	jobFree []*pktJob
 
 	// Counters.
 	PipelineDrops uint64 // packets dropped by pipeline decision
@@ -139,17 +143,15 @@ func (sw *Switch) NextUID() uint64 {
 func (sw *Switch) InjectFromCPU(pkt *netproto.Packet) {
 	const pcieDelay = 2 * netsim.Microsecond
 	pkt.Meta.UID = sw.NextUID()
-	sw.sim.After(pcieDelay, func() {
-		pkt.Meta.IngressPs = int64(sw.sim.Now())
-		pkt.Meta.InPort = CPUPortID
-		sw.ingress(pkt)
-	})
+	sw.sim.AfterCall(pcieDelay, runInjectJob, sw.job(pkt, nil))
 }
 
 // ingress runs the ingress pipeline and dispatches the PHV through the
-// traffic manager. Called at ingress-pipeline completion time.
+// traffic manager. Called at ingress-pipeline completion time. The switch
+// owns pkt for the duration of the pass: packets whose journey ends here
+// (drops) are released back to the packet pool.
 func (sw *Switch) ingress(pkt *netproto.Packet) {
-	phv := NewPHV(pkt)
+	phv := sw.acquirePHV(pkt)
 	sw.Ingress.Run(phv)
 	pkt.Meta = phv.Meta // metadata edits travel with the packet
 	if phv.DigestData != nil {
@@ -158,19 +160,28 @@ func (sw *Switch) ingress(pkt *netproto.Packet) {
 	}
 	if phv.Drop {
 		sw.PipelineDrops++
+		sw.releasePHV(phv)
+		pkt.Release()
 		return
 	}
 	switch {
 	case phv.McastGroup > 0:
 		sw.replicate(phv)
+		sw.releasePHV(phv)
 	case phv.Recirculate:
 		phv.Deparse()
-		sw.toEgress(pkt, sw.recircPortFor(phv), netsim.Duration(TMLatencyNs)*netsim.Nanosecond)
+		port := sw.recircPortFor(phv)
+		sw.releasePHV(phv)
+		sw.toEgress(pkt, port, netsim.Duration(TMLatencyNs)*netsim.Nanosecond)
 	case phv.EgressPort >= 0:
 		phv.Deparse()
-		sw.toEgress(pkt, sw.Port(phv.EgressPort), netsim.Duration(TMLatencyNs)*netsim.Nanosecond)
+		port := sw.Port(phv.EgressPort)
+		sw.releasePHV(phv)
+		sw.toEgress(pkt, port, netsim.Duration(TMLatencyNs)*netsim.Nanosecond)
 	default:
 		sw.NoRouteDrops++
+		sw.releasePHV(phv)
+		pkt.Release()
 	}
 }
 
@@ -184,17 +195,21 @@ func (sw *Switch) recircPortFor(phv *PHV) *Port {
 }
 
 // replicate hands the PHV to the multicast engine: one copy per CopySpec,
-// each delayed by the replication-engine latency.
+// each delayed by the replication-engine latency. Every copy — including the
+// rid-0 continuation — is a fresh clone; the original packet's journey ends
+// here and its buffer returns to the pool.
 func (sw *Switch) replicate(phv *PHV) {
+	pkt := phv.Pkt
 	copies := sw.Mcast.Copies(phv.McastGroup)
 	if copies == nil {
 		sw.NoRouteDrops++
+		pkt.Release()
 		return
 	}
 	phv.Deparse()
 	base := netsim.Duration(TMLatencyNs) * netsim.Nanosecond
 	for _, c := range copies {
-		dup := phv.Pkt.Clone()
+		dup := pkt.Clone()
 		dup.Meta.UID = sw.NextUID()
 		dup.Meta.Replica = true
 		dup.Meta.ReplicaID = c.Rid
@@ -209,42 +224,52 @@ func (sw *Switch) replicate(phv *PHV) {
 		}
 		sw.toEgress(dup, sw.Port(c.Port), d)
 	}
+	pkt.Release()
 }
 
 // toEgress schedules the egress pipeline for pkt on port after tmDelay.
 func (sw *Switch) toEgress(pkt *netproto.Packet, port *Port, tmDelay netsim.Duration) {
 	if port == nil {
 		sw.NoRouteDrops++
+		pkt.Release()
 		return
 	}
-	sw.sim.After(tmDelay, func() {
-		phv := NewPHV(pkt)
-		phv.EgressPort = port.ID
-		sw.Egress.Run(phv)
-		pkt.Meta = phv.Meta
-		if phv.DigestData != nil {
-			sw.emitDigest(phv.DigestData)
-			phv.DigestData = nil
-		}
-		if phv.Drop {
-			sw.PipelineDrops++
-			return
-		}
-		phv.Deparse()
-		egressDelay := netsim.Duration(EgressLatencyNs+MACTxLatencyNs) * netsim.Nanosecond
-		if port.Loopback {
-			// Calibrated loop: apply the fractional correction plus
-			// bounded jitter so measured RTTs match Fig. 14a.
-			egressDelay -= netsim.Ns(pipeFixedSubNs)
-			egressDelay += sw.rngLoop.Jitter(RTTJitterSpreadNs * netsim.Nanosecond / 2)
-		}
-		sw.sim.After(egressDelay, func() { port.Transmit(pkt) })
-	})
+	sw.sim.AfterCall(tmDelay, runEgressJob, sw.job(pkt, port))
+}
+
+// runEgress executes the egress pipeline for pkt bound to port, then hands
+// the frame to the port after the egress+MAC latency. Called at traffic-
+// manager completion time.
+func (sw *Switch) runEgress(pkt *netproto.Packet, port *Port) {
+	phv := sw.acquirePHV(pkt)
+	phv.EgressPort = port.ID
+	sw.Egress.Run(phv)
+	pkt.Meta = phv.Meta
+	if phv.DigestData != nil {
+		sw.emitDigest(phv.DigestData)
+		phv.DigestData = nil
+	}
+	if phv.Drop {
+		sw.PipelineDrops++
+		sw.releasePHV(phv)
+		pkt.Release()
+		return
+	}
+	phv.Deparse()
+	sw.releasePHV(phv)
+	egressDelay := netsim.Duration(EgressLatencyNs+MACTxLatencyNs) * netsim.Nanosecond
+	if port.Loopback {
+		// Calibrated loop: apply the fractional correction plus
+		// bounded jitter so measured RTTs match Fig. 14a.
+		egressDelay -= netsim.Ns(pipeFixedSubNs)
+		egressDelay += sw.rngLoop.Jitter(RTTJitterSpreadNs * netsim.Nanosecond / 2)
+	}
+	sw.sim.AfterCall(egressDelay, runTransmitJob, sw.job(pkt, port))
 }
 
 // DigestQueueLen reports messages currently queued on the digest channel
 // (the pipeline-visible backpressure signal a learn filter provides).
-func (sw *Switch) DigestQueueLen() int { return len(sw.digestQueue) }
+func (sw *Switch) DigestQueueLen() int { return sw.digestQueue.Len() }
 
 // emitDigest queues a generate_digest message on the PCIe channel towards
 // the switch CPU. The channel is message-rate bound; overflow drops.
@@ -252,19 +277,19 @@ func (sw *Switch) emitDigest(data []byte) {
 	if sw.DigestOut == nil {
 		return
 	}
-	if len(sw.digestQueue) >= digestMaxQueue {
+	if sw.digestQueue.Len() >= digestMaxQueue {
 		sw.DigestDrops++
 		return
 	}
 	msg := make([]byte, len(data))
 	copy(msg, data)
-	sw.digestQueue = append(sw.digestQueue, msg)
+	sw.digestQueue.Push(msg)
 	sw.scheduleDigest()
 }
 
 // scheduleDigest arms the next channel delivery if one is not in flight.
 func (sw *Switch) scheduleDigest() {
-	if sw.digestDraining || len(sw.digestQueue) == 0 {
+	if sw.digestDraining || sw.digestQueue.Len() == 0 {
 		return
 	}
 	sw.digestDraining = true
@@ -275,26 +300,28 @@ func (sw *Switch) scheduleDigest() {
 	}
 	end := start.Add(digestServiceTime)
 	sw.digestBusyUntil = end
-	sw.sim.At(end, func() {
-		sw.digestDraining = false
-		if len(sw.digestQueue) == 0 {
-			return // flushed in the meantime
-		}
-		msg := sw.digestQueue[0]
-		sw.digestQueue = sw.digestQueue[1:]
-		sw.DigestsSent++
-		sw.DigestOut(msg, end)
-		sw.scheduleDigest()
-	})
+	sw.sim.AtCall(end, runDigestDrain, sw)
+}
+
+// runDigestDrain delivers the oldest queued digest at channel-service time.
+func runDigestDrain(a any) {
+	sw := a.(*Switch)
+	sw.digestDraining = false
+	if sw.digestQueue.Len() == 0 {
+		return // flushed in the meantime
+	}
+	msg := sw.digestQueue.Pop()
+	sw.DigestsSent++
+	sw.DigestOut(msg, sw.sim.Now())
+	sw.scheduleDigest()
 }
 
 // FlushDigests synchronously delivers every queued digest message — the
 // switch CPU reading out the learn buffer at collection time.
 func (sw *Switch) FlushDigests() {
 	now := sw.sim.Now()
-	for len(sw.digestQueue) > 0 {
-		msg := sw.digestQueue[0]
-		sw.digestQueue = sw.digestQueue[1:]
+	for sw.digestQueue.Len() > 0 {
+		msg := sw.digestQueue.Pop()
 		sw.DigestsSent++
 		if sw.DigestOut != nil {
 			sw.DigestOut(msg, now)

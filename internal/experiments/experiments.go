@@ -86,30 +86,6 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// All runs every experiment in paper order.
-func All(cfg Config) []*Result {
-	return []*Result{
-		Table5LoC(cfg),
-		Fig9SinglePort(cfg),
-		Fig10MultiPort(cfg),
-		Fig11RateControl40G(cfg),
-		Fig12RateControl100G(cfg),
-		Fig13RandomQQ(cfg),
-		Fig14Accelerator(cfg),
-		Fig15Replicator(cfg),
-		Fig16StatCollection(cfg),
-		Fig17ExactMatch(cfg),
-		Table6Cost(cfg),
-		Table7Resources(cfg),
-		Table8SynFlood(cfg),
-		Fig18DelayTesting(cfg),
-		AblationSketchAccuracy(cfg),
-		AblationCuckooOccupancy(cfg),
-		AblationTemplateAmplification(cfg),
-		CaseWebScale(cfg),
-	}
-}
-
 // htGenerate runs a HyperTester generation task against per-port sinks and
 // returns them after the measurement window (warm-up excluded).
 func htGenerate(src string, portGbps []float64, seed int64,

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Spec names one experiment of the evaluation suite.
+type Spec struct {
+	ID string
+	Fn func(Config) *Result
+}
+
+// Specs returns every experiment in paper order.
+func Specs() []Spec {
+	return []Spec{
+		{"Table 5", Table5LoC},
+		{"Fig. 9", Fig9SinglePort},
+		{"Fig. 10", Fig10MultiPort},
+		{"Fig. 11", Fig11RateControl40G},
+		{"Fig. 12", Fig12RateControl100G},
+		{"Fig. 13", Fig13RandomQQ},
+		{"Fig. 14", Fig14Accelerator},
+		{"Fig. 15", Fig15Replicator},
+		{"Fig. 16", Fig16StatCollection},
+		{"Fig. 17", Fig17ExactMatch},
+		{"Table 6", Table6Cost},
+		{"Table 7", Table7Resources},
+		{"Table 8", Table8SynFlood},
+		{"Fig. 18", Fig18DelayTesting},
+		{"Ablation A", AblationSketchAccuracy},
+		{"Ablation B", AblationCuckooOccupancy},
+		{"Ablation C", AblationTemplateAmplification},
+		{"Case study", CaseWebScale},
+	}
+}
+
+// Run executes specs across a GOMAXPROCS-bounded worker pool and returns
+// results in input order regardless of completion order. Every experiment
+// builds its own netsim.Sim and derives every random stream from cfg.Seed
+// plus a component label, so no state is shared between workers and the
+// output is bit-identical to a sequential run (TestParallelDeterminism pins
+// this).
+func Run(cfg Config, specs []Spec) []*Result {
+	out := make([]*Result, len(specs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, sp := range specs {
+			out[i] = sp.Fn(cfg)
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = specs[i].Fn(cfg)
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// All runs every experiment in paper order on the parallel runner.
+func All(cfg Config) []*Result { return Run(cfg, Specs()) }
+
+// AllSequential runs every experiment one after another on the calling
+// goroutine — the reference ordering for determinism regression tests.
+func AllSequential(cfg Config) []*Result {
+	specs := Specs()
+	out := make([]*Result, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.Fn(cfg)
+	}
+	return out
+}
+
+// HeadlineSpec locates an experiment's headline metric inside its result
+// table. Row < 0 counts from the end (-1 = last row). Unit doubles as the
+// custom-metric name the bench suite reports.
+type HeadlineSpec struct {
+	Row, Col int
+	Unit     string
+}
+
+// headlines maps each experiment ID to its paper-facing headline cell. The
+// bench suite and cmd/htbench's BENCH_results.json both read from here, so
+// the two always agree on what each experiment's number of record is.
+var headlines = map[string]HeadlineSpec{
+	"Table 5":    {0, 0, "NTAPI-LoC"},
+	"Fig. 9":     {0, 0, "Gbps-64B@100G"},
+	"Fig. 10":    {-1, 0, "Gbps-aggregate"},
+	"Fig. 11":    {1, 0, "ns-HT-MAE-1Mpps"},
+	"Fig. 12":    {1, 0, "ns-MAE-1Mpps"},
+	"Fig. 13":    {0, 0, "QQ-corr-normal"},
+	"Fig. 14":    {0, 0, "ns-RTT-64B"},
+	"Fig. 15":    {0, 0, "ns-mcast-64B"},
+	"Fig. 16":    {4, 0, "Mbps-digest-256B"},
+	"Fig. 17":    {-1, 0, "entries-16b"},
+	"Table 6":    {2, 0, "USD-saved-per-Tbps"},
+	"Table 7":    {-1, 5, "pct-SALU-reduce"},
+	"Table 8":    {0, 0, "Gbps-testbed"},
+	"Fig. 18":    {0, 0, "ns-HT-HW-mean"},
+	"Ablation A": {0, 0, "counter-err-keys"},
+	"Ablation B": {2, 0, "pct-onchip-0.75"},
+	"Ablation C": {2, 0, "amplification-x"},
+	"Case study": {1, 0, "handshakes-per-s"},
+}
+
+// Headline extracts an experiment's headline metric. It returns an error —
+// rather than a silent zero — when the result has no such cell or the cell
+// does not start with a number, so a broken experiment cannot masquerade as
+// a real measurement.
+func Headline(r *Result) (value float64, unit string, err error) {
+	spec, ok := headlines[r.ID]
+	if !ok {
+		return 0, "", fmt.Errorf("experiments: no headline defined for %q", r.ID)
+	}
+	row := spec.Row
+	if row < 0 {
+		row += len(r.Rows)
+	}
+	if row < 0 || row >= len(r.Rows) || spec.Col >= len(r.Rows[row].Values) {
+		return 0, "", fmt.Errorf("experiments: %s has no cell (%d,%d): %d rows",
+			r.ID, spec.Row, spec.Col, len(r.Rows))
+	}
+	cell := r.Rows[row].Values[spec.Col]
+	fields := strings.Fields(cell)
+	if len(fields) == 0 {
+		return 0, "", fmt.Errorf("experiments: %s cell (%d,%d) is empty", r.ID, spec.Row, spec.Col)
+	}
+	num := strings.TrimPrefix(fields[0], "$")
+	num = strings.TrimSuffix(strings.TrimSuffix(num, "%"), "x")
+	v, perr := strconv.ParseFloat(num, 64)
+	if perr != nil {
+		return 0, "", fmt.Errorf("experiments: %s cell (%d,%d) %q is not numeric",
+			r.ID, spec.Row, spec.Col, cell)
+	}
+	return v, spec.Unit, nil
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Packet is a wire packet travelling through the simulation. Data holds the
@@ -21,6 +22,56 @@ type Packet struct {
 	// HyperTester template packets, and a monotonically growing unique ID
 	// for tracing. None of these fields exist on the wire.
 	Meta Meta
+
+	// buf is the pooled frame storage a NewPacket/Clone-built packet
+	// carries through its pool lifetime; Data aliases it for frames up to
+	// FrameBufSize bytes. Nil for packets built around caller-owned
+	// storage (&Packet{Data: raw}).
+	buf *[FrameBufSize]byte
+}
+
+// FrameBufSize is the pooled frame-buffer capacity. It covers standard
+// 1500-byte MTU frames plus the simulation's internal headroom; jumbo frames
+// fall back to exact-size heap allocation.
+const FrameBufSize = 2048
+
+// packetPool recycles Packet structs together with their frame buffers.
+// Release is strictly opt-in: a packet whose owner never releases it is
+// simply collected by the GC, so forgetting Release is safe (slower), while
+// releasing a packet someone else still references is a bug (see the
+// pooling invariants in DESIGN.md).
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a pooled packet whose Data has length n. The frame bytes
+// are NOT zeroed: callers are expected to overwrite the full frame (as Clone
+// and the serializers do).
+func NewPacket(n int) *Packet {
+	p := packetPool.Get().(*Packet)
+	if n <= FrameBufSize {
+		if p.buf == nil {
+			p.buf = new([FrameBufSize]byte)
+		}
+		p.Data = p.buf[:n]
+	} else {
+		p.Data = make([]byte, n)
+	}
+	return p
+}
+
+// Release returns the packet (and its pooled frame buffer) to the packet
+// pool. After Release the caller must not touch the packet again: its Data
+// is gone and the struct will be handed to an unrelated future NewPacket or
+// Clone call. Only the packet's exclusive owner may release it — never a
+// packet somebody else may still hold (a delivered frame, a retained
+// capture). Releasing a caller-built &Packet{Data: raw} is allowed; the raw
+// storage stays with its creator.
+func (p *Packet) Release() {
+	if p == nil {
+		return
+	}
+	p.Data = nil
+	p.Meta = Meta{}
+	packetPool.Put(p)
 }
 
 // Meta is simulation-side packet context. It is copied, never shared, when a
@@ -52,11 +103,14 @@ type Meta struct {
 // Len returns the frame length in bytes (without preamble/IFG/FCS).
 func (p *Packet) Len() int { return len(p.Data) }
 
-// Clone deep-copies the packet, sharing nothing with the original.
+// Clone deep-copies the packet, sharing nothing with the original. The copy
+// lives in pooled storage: multicast replication clones every template
+// arrival, and without recycling those buffers the replication hot loop
+// would be GC-bound. The clone's owner may hand it back with Release.
 func (p *Packet) Clone() *Packet {
-	d := make([]byte, len(p.Data))
-	copy(d, p.Data)
-	c := &Packet{Data: d, Meta: p.Meta}
+	c := NewPacket(len(p.Data))
+	copy(c.Data, p.Data)
+	c.Meta = p.Meta
 	if p.Meta.Record != nil {
 		c.Meta.Record = append([]uint64(nil), p.Meta.Record...)
 	}

@@ -1,0 +1,97 @@
+package netsim
+
+import "testing"
+
+// BenchmarkSimSteadyState measures the per-event cost of the scheduler's
+// steady state: one pending event that, when it fires, schedules its
+// successor through the allocation-free AtCall path. This is the shape of
+// every hot loop in the reproduction (recirculating templates, port
+// serialization chains) and must run at 0 allocs/op.
+func BenchmarkSimSteadyState(b *testing.B) {
+	s := New()
+	n := 0
+	var step func(any)
+	step = func(arg any) {
+		n++
+		if n < b.N {
+			s.AtCall(s.Now().Add(10), step, arg)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.AtCall(0, step, nil)
+	s.Run()
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkSimSteadyStateClosure is the same loop through the legacy
+// closure-based After API, for comparison (pays one closure per event).
+func BenchmarkSimSteadyStateClosure(b *testing.B) {
+	s := New()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			s.After(10, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.After(0, step)
+	s.Run()
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the zero-allocation contract of the AtCall
+// hot path: once the event pool is warm, a schedule/run/recycle cycle must
+// not touch the heap.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	s := New()
+	fire := func(any) {}
+	// Warm the pool.
+	for i := 0; i < 64; i++ {
+		s.AtCall(s.Now(), fire, nil)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		s.AtCall(s.Now(), fire, nil)
+		s.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state AtCall cycle allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// TestEventPoolRecycles verifies executed and cancelled events return to the
+// pool and that cancellation before execution still works after recycling.
+func TestEventPoolRecycles(t *testing.T) {
+	s := New()
+	ran := 0
+	e := s.AtCall(5, func(any) { ran++ }, nil)
+	s.Cancel(e)
+	if len(s.free) != 1 {
+		t.Fatalf("cancelled event not recycled: pool=%d", len(s.free))
+	}
+	e2 := s.AtCall(5, func(any) { ran++ }, nil)
+	if e2 != e {
+		t.Fatalf("pool did not reuse the cancelled event")
+	}
+	s.Run()
+	if ran != 1 {
+		t.Fatalf("ran=%d, want 1", ran)
+	}
+	if len(s.free) != 1 {
+		t.Fatalf("executed event not recycled: pool=%d", len(s.free))
+	}
+	// Cancelling the stale handle of an already-recycled event is a no-op
+	// while it sits in the pool.
+	s.Cancel(e2)
+	if len(s.free) != 1 {
+		t.Fatalf("stale cancel corrupted the pool: pool=%d", len(s.free))
+	}
+}

@@ -77,10 +77,20 @@ func (t Time) String() string { return Duration(t).String() }
 
 // Event is a scheduled callback. Callbacks run sequentially in timestamp
 // order; ties break in scheduling order, which keeps runs deterministic.
+//
+// Events are pooled: once an event has executed or been cancelled, the Sim
+// recycles it for a future schedule. A caller may therefore retain the
+// *Event returned by At/After only until the callback runs (to Cancel it);
+// holding it past execution and cancelling later may cancel an unrelated,
+// newer event.
 type Event struct {
-	at   Time
-	seq  uint64
+	at  Time
+	seq uint64
+	// Exactly one of fn / fn2 is set. fn2+arg is the allocation-free form
+	// used by AtCall; fn is the closure form used by At.
 	fn   func()
+	fn2  func(any)
+	arg  any
 	done bool // cancelled or executed
 	idx  int  // heap index, -1 when not queued
 }
@@ -125,6 +135,10 @@ type Sim struct {
 	queue   eventQueue
 	seq     uint64
 	stopped bool
+	// free is the recycled-event pool. Steady-state scheduling pops from
+	// here instead of allocating, so a schedule/run/recycle loop is
+	// allocation-free once the pool has warmed up.
+	free []*Event
 	// Executed counts events that have run, for loop-detection in tests.
 	Executed uint64
 }
@@ -135,20 +149,59 @@ func New() *Sim { return &Sim{} }
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
-// At schedules fn to run at absolute time at. Scheduling in the past panics:
-// it is always a component bug, never a recoverable condition.
-func (s *Sim) At(at Time, fn func()) *Event {
+// alloc pops a recycled event or allocates a fresh one.
+func (s *Sim) alloc(at Time) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("netsim: scheduling event at %v before now %v", at, s.now))
 	}
 	s.seq++
-	e := &Event{at: at, seq: s.seq, fn: fn, idx: -1}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.done = false
+	} else {
+		e = &Event{}
+	}
+	e.at, e.seq, e.idx = at, s.seq, -1
+	return e
+}
+
+// recycle returns an executed or cancelled event to the pool, dropping its
+// callback references so they can be collected.
+func (s *Sim) recycle(e *Event) {
+	e.fn, e.fn2, e.arg = nil, nil, nil
+	s.free = append(s.free, e)
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// it is always a component bug, never a recoverable condition.
+func (s *Sim) At(at Time, fn func()) *Event {
+	e := s.alloc(at)
+	e.fn = fn
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// AtCall schedules fn(arg) at absolute time at. Unlike At, it needs no
+// closure: callers pass a static function plus a (typically pooled) argument,
+// so steady-state scheduling performs zero heap allocations. Passing a
+// pointer as arg does not allocate.
+func (s *Sim) AtCall(at Time, fn func(any), arg any) *Event {
+	e := s.alloc(at)
+	e.fn2, e.arg = fn, arg
 	heap.Push(&s.queue, e)
 	return e
 }
 
 // After schedules fn to run d from now. Negative d panics via At.
 func (s *Sim) After(d Duration, fn func()) *Event { return s.At(s.now.Add(d), fn) }
+
+// AfterCall schedules fn(arg) to run d from now, without closure allocation.
+func (s *Sim) AfterCall(d Duration, fn func(any), arg any) *Event {
+	return s.AtCall(s.now.Add(d), fn, arg)
+}
 
 // Cancel removes a pending event. Cancelling an already-run or already-
 // cancelled event is a no-op.
@@ -158,6 +211,7 @@ func (s *Sim) Cancel(e *Event) {
 	}
 	heap.Remove(&s.queue, e.idx)
 	e.done = true
+	s.recycle(e)
 }
 
 // Pending reports the number of queued events.
@@ -177,7 +231,15 @@ func (s *Sim) step() bool {
 	s.now = e.at
 	e.done = true
 	s.Executed++
-	e.fn()
+	if e.fn2 != nil {
+		fn, arg := e.fn2, e.arg
+		s.recycle(e)
+		fn(arg)
+	} else {
+		fn := e.fn
+		s.recycle(e)
+		fn()
+	}
 	return true
 }
 

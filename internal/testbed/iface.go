@@ -7,9 +7,48 @@
 package testbed
 
 import (
+	"sync"
+
 	"github.com/hypertester/hypertester/internal/netproto"
 	"github.com/hypertester/hypertester/internal/netsim"
 )
+
+// linkJob carries one in-flight frame delivery (cable propagation or NIC
+// serialization) so links schedule through netsim.AtCall without a capturing
+// closure per frame. The pool is a sync.Pool because testbeds from different
+// experiments run concurrently under the parallel suite runner.
+type linkJob struct {
+	dst   Attach
+	iface *Iface
+	pkt   *netproto.Packet
+}
+
+var linkJobPool = sync.Pool{New: func() any { return new(linkJob) }}
+
+// runDeliverJob completes a cable hop: the frame arrives at the far end.
+func runDeliverJob(a any) {
+	j := a.(*linkJob)
+	dst, pkt := j.dst, j.pkt
+	*j = linkJob{}
+	linkJobPool.Put(j)
+	dst.Deliver(pkt)
+}
+
+// runIfaceTxJob completes a NIC serialization: the last bit left the
+// interface, so the current virtual time is the egress timestamp.
+func runIfaceTxJob(a any) {
+	j := a.(*linkJob)
+	i, pkt := j.iface, j.pkt
+	*j = linkJob{}
+	linkJobPool.Put(j)
+	i.TxPackets++
+	i.TxBytes += uint64(pkt.Len())
+	end := i.sim.Now()
+	pkt.Meta.EgressPs = int64(end)
+	if i.peer != nil {
+		i.peer(pkt, end)
+	}
+}
 
 // Attach is anything a cable can plug into: a switch port or a device
 // interface. SetPeer installs the far end; Deliver accepts a frame arriving
@@ -67,24 +106,23 @@ func (i *Iface) Send(pkt *netproto.Packet) {
 	}
 	end := start.Add(netsim.Ns(netproto.WireTimeNs(pkt.Len(), i.Gbps)))
 	i.txBusyUntil = end
-	i.sim.At(end, func() {
-		i.TxPackets++
-		i.TxBytes += uint64(pkt.Len())
-		pkt.Meta.EgressPs = int64(end)
-		if i.peer != nil {
-			i.peer(pkt, end)
-		}
-	})
+	j := linkJobPool.Get().(*linkJob)
+	j.iface, j.pkt = i, pkt
+	i.sim.AtCall(end, runIfaceTxJob, j)
 }
 
 // Connect joins two attachment points with a full-duplex cable of the given
 // propagation delay.
 func Connect(sim *netsim.Sim, a, b Attach, propagation netsim.Duration) {
 	a.SetPeer(func(pkt *netproto.Packet, at netsim.Time) {
-		sim.At(at.Add(propagation), func() { b.Deliver(pkt) })
+		j := linkJobPool.Get().(*linkJob)
+		j.dst, j.pkt = b, pkt
+		sim.AtCall(at.Add(propagation), runDeliverJob, j)
 	})
 	b.SetPeer(func(pkt *netproto.Packet, at netsim.Time) {
-		sim.At(at.Add(propagation), func() { a.Deliver(pkt) })
+		j := linkJobPool.Get().(*linkJob)
+		j.dst, j.pkt = a, pkt
+		sim.AtCall(at.Add(propagation), runDeliverJob, j)
 	})
 }
 
@@ -101,10 +139,13 @@ func ConnectLossy(sim *netsim.Sim, a, b Attach, propagation netsim.Duration, los
 		return func(pkt *netproto.Packet, at netsim.Time) {
 			if l.rng.Float64() < l.rate {
 				l.Dropped++
+				pkt.Release() // the frame dies on this cable; recycle it
 				return
 			}
 			l.Delivered++
-			sim.At(at.Add(propagation), func() { dst.Deliver(pkt) })
+			j := linkJobPool.Get().(*linkJob)
+			j.dst, j.pkt = dst, pkt
+			sim.AtCall(at.Add(propagation), runDeliverJob, j)
 		}
 	}
 	a.SetPeer(forward(b))

@@ -58,8 +58,18 @@ func (s *Sink) receive(pkt *netproto.Packet) {
 	}
 	s.captureFrame(pkt, now)
 	if s.OnPacket != nil {
+		// The hook may retain the packet, so ownership passes to it and
+		// the pool is bypassed.
 		s.OnPacket(pkt, now)
+		return
 	}
+	if s.capturing {
+		return // captured frames keep the packet's bytes alive
+	}
+	// A plain counting sink is the end of the frame's life: recycle it so
+	// line-rate throughput runs recirculate buffers instead of growing the
+	// heap.
+	pkt.Release()
 }
 
 // ThroughputGbps returns the goodput plus wire overhead over the window the
