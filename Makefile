@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race lint vet bench clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Project analyzers: poolsafety, determinism, atcall (see DESIGN.md §8).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/htlint ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) run ./cmd/htbench -quick
+
+clean:
+	$(GO) clean ./...

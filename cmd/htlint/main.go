@@ -1,0 +1,58 @@
+// Command htlint is HyperTester's static-analysis driver: a multichecker
+// that runs the repository's analyzer suite (poolsafety, determinism,
+// atcall — see internal/lint) over Go packages and exits non-zero on any
+// diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/htlint ./...          # whole repository
+//	go run ./cmd/htlint ./internal/asic
+//	go run ./cmd/htlint -list          # describe the analyzers
+//
+// Suppress a single finding with a trailing or preceding comment:
+//
+//	//htlint:ignore poolsafety the scheduler owns queued events
+//
+// The IR-level pipeline verifier is separate: it runs inside the compiler
+// on every Compile call (internal/core/compiler/verifyir.go) and rejects
+// invalid pipeline plans at compile time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hypertester/hypertester/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(*dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "htlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -31,6 +31,14 @@ func generateP4(prog *Program, opts Options) *p4ir.Program {
 			p.Headers = append(p.Headers, h)
 		}
 	}
+	// Parse graph: ethernet selects ipv4 on ethertype; ipv4 selects the
+	// transport header on protocol. The IR verifier checks acyclicity.
+	p.Parser = append(p.Parser, p4ir.ParserEdge{From: "ethernet", To: "ipv4"})
+	for _, l4 := range []string{"tcp", "udp"} {
+		if headers[l4] {
+			p.Parser = append(p.Parser, p4ir.ParserEdge{From: "ipv4", To: l4})
+		}
+	}
 
 	if len(prog.Templates) > 0 {
 		genAccelerator(p, prog)
@@ -42,7 +50,54 @@ func generateP4(prog *Program, opts Options) *p4ir.Program {
 	for _, q := range prog.Queries {
 		genQuery(p, q)
 	}
+	genTriggerPush(p, prog)
 	return p
+}
+
+// genTriggerPush funnels every trigger-bound capture query's FIFO push
+// through one shared table per pipeline. The capture actions only set
+// meta.trigger_push; the action here performs the single stateful access to
+// the shared trigger FIFO, so exactly one table owns the register's SALU
+// per packet pass (the layout rule verifyir.go enforces).
+func genTriggerPush(p *p4ir.Program, prog *Program) {
+	need := map[p4ir.PipelineKind]bool{}
+	for _, q := range prog.Queries {
+		if q.TriggerTemplateID == 0 ||
+			q.Kind == ntapi.KindDelay || q.Kind == ntapi.KindReduce || q.Kind == ntapi.KindDistinct {
+			continue
+		}
+		if q.Egress {
+			need[p4ir.PipeEgress] = true
+		} else {
+			need[p4ir.PipeIngress] = true
+		}
+	}
+	for _, pipe := range []p4ir.PipelineKind{p4ir.PipeIngress, p4ir.PipeEgress} {
+		if !need[pipe] {
+			continue
+		}
+		p.AddRegisterOnce(&p4ir.RegisterDef{Name: "trigger_fifo", Width: 64, Size: 4096})
+		act := fmt.Sprintf("trigger_push_%s", pipe)
+		p.AddAction(&p4ir.ActionDef{Name: act, Ops: []p4ir.Op{
+			{Kind: p4ir.OpRegisterRMW, Dst: "trigger_fifo", Src: "push record", Bits: 64},
+		}})
+		tbl := fmt.Sprintf("trigger_push_tbl_%s", pipe)
+		p.AddTable(&p4ir.TableDef{
+			Name: tbl, Pipeline: pipe, Match: p4ir.MatchExact,
+			Keys:    []p4ir.KeyDef{{Field: "meta.trigger_push", Bits: 1}},
+			Actions: []string{act},
+			Size:    1,
+		})
+		stmt := p4ir.ControlStmt{
+			If:   "meta.trigger_push == 1",
+			Then: []p4ir.ControlStmt{{Apply: tbl}},
+		}
+		if pipe == p4ir.PipeIngress {
+			p.Ingress = append(p.Ingress, stmt)
+		} else {
+			p.Egress = append(p.Egress, stmt)
+		}
+	}
 }
 
 // genAccelerator emits the shared template-recirculation machinery (§5.1).
@@ -306,8 +361,12 @@ func genQuery(p *p4ir.Program, q *QueryPlan) {
 		capAct := base + "_record"
 		ops := []p4ir.Op{{Kind: p4ir.OpRegisterRMW, Dst: base + "_count", Src: "+1", Bits: 64}}
 		if q.TriggerTemplateID != 0 {
-			ops = append(ops, p4ir.Op{Kind: p4ir.OpRegisterRMW, Dst: "trigger_fifo", Src: "push record", Bits: 64})
-			p.AddRegisterOnce(&p4ir.RegisterDef{Name: "trigger_fifo", Width: 64, Size: 4096})
+			// The capture action only raises a flag (a VLIW move); the
+			// single shared trigger_push table performs the FIFO's
+			// stateful access, because an RMT register's SALU fires at
+			// most once per packet — two capture tables pushing directly
+			// would be rejected by the IR verifier.
+			ops = append(ops, p4ir.Op{Kind: p4ir.OpModifyField, Dst: "meta.trigger_push", Src: "1", Bits: 1})
 		}
 		p.AddAction(&p4ir.ActionDef{Name: capAct, Ops: ops})
 		p.AddRegister(&p4ir.RegisterDef{Name: base + "_count", Width: 64, Size: 1})

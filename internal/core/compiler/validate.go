@@ -66,5 +66,13 @@ func validateProgram(prog *Program, opts Options) error {
 				c.use, c.name, c.cap)
 		}
 	}
+
+	// Whole-chip totals fit; now verify the plan can actually be laid out
+	// and executed on the staged pipeline (verifyir.go).
+	if prog.P4 != nil {
+		if err := VerifyPlan(prog.P4, TofinoStageModel); err != nil {
+			return err
+		}
+	}
 	return nil
 }

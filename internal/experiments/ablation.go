@@ -62,12 +62,21 @@ func AblationSketchAccuracy(cfg Config) *Result {
 	for _, flows := range pops {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(flows)))
 
-		// Key population + ground truth.
+		// Key population + ground truth. uniq holds the distinct keys in
+		// first-occurrence order: scoring iterates it instead of the truth
+		// map, whose iteration order varies run to run.
 		keys := make([]uint64, flows)
 		for i := range keys {
 			keys[i] = rng.Uint64() & 0xffffffff
 		}
 		truth := map[uint64]uint64{}
+		uniq := make([]uint64, 0, flows)
+		for _, k := range keys {
+			if _, ok := truth[k]; !ok {
+				truth[k] = 0
+				uniq = append(uniq, k)
+			}
+		}
 
 		// Counter-based: arrays sized at 1/4 of the population (heavy
 		// pressure), exact keys precomputed as the compiler would.
@@ -110,13 +119,14 @@ func AblationSketchAccuracy(cfg Config) *Result {
 		for _, r := range ct.Collect() {
 			got[r.Key[0]] = r.Value
 		}
-		for k, want := range truth {
-			if got[k] != want {
+		for _, k := range uniq {
+			if got[k] != truth[k] {
 				counterErrs++
 			}
 		}
 		cmOver, cmRelSum := 0, 0.0
-		for k, want := range truth {
+		for _, k := range uniq {
+			want := truth[k]
 			est := cm.Estimate(keyBytes(k))
 			if est > want {
 				cmOver++

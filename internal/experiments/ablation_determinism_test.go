@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Regression tests for the determinism findings htlint surfaced: the
+// ablation scoring loops used to range over the ground-truth map, coupling
+// the computation to Go's randomized map iteration order. Scoring now walks
+// the key population in first-occurrence order, so two runs with the same
+// seed must agree bit for bit — including every formatted row.
+
+func TestAblationSketchAccuracyDeterministic(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 42}
+	a := AblationSketchAccuracy(cfg)
+	b := AblationSketchAccuracy(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestAblationCuckooOccupancyDeterministic(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 42}
+	a := AblationCuckooOccupancy(cfg)
+	b := AblationCuckooOccupancy(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%v\nvs\n%v", a, b)
+	}
+}

@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/hypertester/hypertester/internal/lint"
+)
+
+// TestRepositoryIsLintClean is the guard the CI htlint step duplicates:
+// the analyzer suite must report zero diagnostics over the whole module.
+// A finding here means either a real invariant violation slipped in (fix
+// it) or an intentional exception lacks its //htlint:ignore annotation
+// (annotate it, with the reason).
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	diags, err := lint.Run("../..", []string{"./..."}, lint.DefaultAnalyzers())
+	if err != nil {
+		t.Fatalf("lint run failed: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("htlint must be clean on the repository; run `go run ./cmd/htlint ./...` locally")
+	}
+}

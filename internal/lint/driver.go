@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Run loads the packages matched by patterns (relative to dir) and applies
+// every analyzer to each, returning the surviving diagnostics sorted by
+// position. Diagnostics suppressed by an `//htlint:ignore <analyzer>
+// <reason>` comment on the same line — or the line immediately above — are
+// dropped.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := NewLoader().Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}
+
+// RunPackage applies the analyzers to one loaded package and filters
+// suppressed diagnostics.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores := collectIgnores(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report: func(d Diagnostic) {
+				if !ignores.matches(d) {
+					out = append(out, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ignoreKey addresses one suppression: a (file, line, analyzer) triple.
+// Analyzer "*" suppresses every analyzer on that line.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// matches reports whether d is covered by a suppression on its own line or
+// the line above (the comment-above-the-statement style).
+func (s ignoreSet) matches(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if s[ignoreKey{d.Pos.Filename, line, d.Analyzer}] ||
+			s[ignoreKey{d.Pos.Filename, line, "*"}] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans a package's comments for //htlint:ignore directives.
+func collectIgnores(pkg *Package) ignoreSet {
+	s := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//htlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				s[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return s
+}
+
+// packagePathHasSuffix reports whether pkgPath equals suffix or ends with
+// "/"+suffix. Analyzers use it to scope rules to packages without
+// hard-coding the module path, which keeps fixtures relocatable.
+func packagePathHasSuffix(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}

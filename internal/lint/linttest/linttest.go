@@ -1,0 +1,144 @@
+// Package linttest runs lint analyzers over annotated fixture packages, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which the
+// build environment does not carry). A fixture is a directory of Go files
+// under testdata/; lines that must trigger a diagnostic carry a trailing
+//
+//	// want `regexp`
+//
+// comment (multiple backquoted patterns allowed on one line). The runner
+// fails the test on any unmatched want and on any unexpected diagnostic,
+// so fixtures prove both that the analyzer catches seeded bugs (negative
+// fixtures) and that it stays quiet on the idiomatic spellings (positive
+// fixtures).
+//
+// Fixture directories live under testdata/, which `go list ./...` skips,
+// so deliberately buggy fixture code never reaches the build, the test
+// binary, or cmd/htlint's repository-wide run.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/hypertester/hypertester/internal/lint"
+)
+
+// sharedLoader caches type-checked standard-library dependencies across
+// fixture runs within one test binary.
+var sharedLoader = lint.NewLoader()
+
+// wantRe extracts the backquoted patterns of a // want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the fixture package in dir, applies the analyzer, and checks
+// the produced diagnostics against the fixture's // want annotations. The
+// fixture's import path is the directory base name; the analyzer's
+// configuration must reference it wherever package paths are matched.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	importPath := filepath.Base(dir)
+	pkg, err := sharedLoader.CheckFiles(importPath, dir, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	wants := collectWants(t, dir, files)
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: running %s: %v", a.Name, err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans fixture sources for // want annotations.
+func collectWants(t *testing.T, dir string, files []string) []want {
+	t.Helper()
+	var wants []want
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, ann, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRe.FindAllStringSubmatch(ann, -1)
+			if len(ms) == 0 {
+				t.Fatalf("linttest: %s:%d: // want without backquoted pattern", name, i+1)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("linttest: %s:%d: bad want pattern: %v", name, i+1, err)
+				}
+				wants = append(wants, want{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// Fixture returns the path of a named fixture directory under the calling
+// package's testdata/src tree.
+func Fixture(t *testing.T, name string) string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("linttest: fixture %s: %v", name, err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	return abs
+}

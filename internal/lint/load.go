@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader type-checks packages from source. It shells out to `go list` for
+// build-context resolution (file sets, topological dependency order) and
+// uses go/parser + go/types for everything else, so it needs no compiled
+// export data and no third-party modules. Loaded dependencies are cached,
+// making repeated Load calls (e.g. across fixture tests) cheap.
+//
+// The loader analyzes GoFiles only — _test.go files are out of scope, as
+// are cgo-built files (it forces CGO_ENABLED=0 so `go list` selects the
+// pure-Go file sets).
+type Loader struct {
+	fset  *token.FileSet
+	types map[string]*types.Package // completed type-check, by import path
+	meta  map[string]*listedPackage
+}
+
+// NewLoader returns an empty loader with a fresh FileSet.
+func NewLoader() *Loader {
+	return &Loader{
+		fset:  token.NewFileSet(),
+		types: map[string]*types.Package{},
+		meta:  map[string]*listedPackage{},
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matched by patterns (as `go list` resolves
+// them, relative to dir) plus all their dependencies, and returns the
+// matched packages with full syntax and type information, sorted by import
+// path.
+func (ld *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	matched, err := ld.list(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range matched {
+		pkg, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// list runs `go list -deps -json` and registers every listed package's
+// metadata, returning the ones directly matched by the patterns.
+func (ld *Loader) list(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Pure-Go file sets: the type checker cannot process cgo.
+	cmd.Env = append(cmd.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	var matched []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s", lp.Error.Err)
+		}
+		if _, ok := ld.meta[lp.ImportPath]; !ok {
+			ld.meta[lp.ImportPath] = lp
+		}
+		if !lp.DepOnly {
+			matched = append(matched, lp)
+		}
+	}
+	return matched, nil
+}
+
+// check type-checks one listed package, recursively checking dependencies
+// first (go list's -deps order guarantees their metadata is registered).
+func (ld *Loader) check(lp *listedPackage) (*Package, error) {
+	files, err := ld.parseFiles(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, err := ld.typeCheck(lp.ImportPath, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:      lp.ImportPath,
+		Name:      lp.Name,
+		Dir:       lp.Dir,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// CheckFiles parses and type-checks an ad-hoc set of files as one package
+// under the given synthetic import path. Imports resolve against the
+// loader's cache; standard-library imports are listed and checked on
+// demand. linttest uses this to load `testdata` fixtures, which `go list`
+// pattern matching deliberately ignores.
+func (ld *Loader) CheckFiles(importPath, dir string, filenames []string) (*Package, error) {
+	files, err := ld.parseFiles(dir, filenames)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve fixture imports up front so typeCheck's importer finds them.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := importPathOf(imp)
+			if path == "unsafe" || ld.types[path] != nil {
+				continue
+			}
+			if _, ok := ld.meta[path]; !ok {
+				if _, err := ld.list(dir, []string{path}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := ld.config()
+	tpkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &Package{
+		Path:      importPath,
+		Name:      name,
+		Dir:       dir,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+func (ld *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typeCheck resolves one import path to a *types.Package, checking it from
+// source on first use. Dependency packages are checked without retaining
+// per-node type information.
+func (ld *Loader) typeCheck(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tpkg, ok := ld.types[path]; ok && files == nil {
+		return tpkg, nil
+	}
+	if files == nil {
+		lp, ok := ld.meta[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: import %q not listed", path)
+		}
+		parsed, err := ld.parseFiles(lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		files = parsed
+	}
+	conf := ld.config()
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	ld.types[path] = tpkg
+	return tpkg, nil
+}
+
+// config builds a types.Config whose importer resolves through the loader.
+func (ld *Loader) config() types.Config {
+	return types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			return ld.typeCheck(path, nil, nil)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+		// The standard library occasionally needs this for packages
+		// that use the FakeImportC escape hatch; harmless otherwise.
+		FakeImportC: true,
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func importPathOf(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	return s[1 : len(s)-1]
+}

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolConfig parameterizes the poolsafety analyzer. PR 1 replaced the
+// simulator's hot-path allocations with object pools (netsim events, ASIC
+// PHVs and hop jobs, netproto packet buffers); every pool trades the
+// garbage collector's safety net for three invariants the compiler cannot
+// check. The analyzer enforces them syntactically:
+//
+//  1. no use after release — once a pooled value has been handed back, a
+//     later use in the same statement sequence touches memory that may
+//     already belong to an unrelated packet;
+//  2. no double release — releasing twice corrupts the free list (the same
+//     pointer handed out to two owners);
+//  3. no retention — appending a pooled value to a slice or storing it in
+//     a map inside the pool-owning packages keeps recycled memory
+//     reachable, the exact bug class behind PR 1's digest-queue leak.
+type PoolConfig struct {
+	// Pooled is the set of pooled struct types, as "importpath.TypeName".
+	Pooled map[string]bool
+
+	// ReleaseMethods are method names that release their receiver
+	// (e.g. Packet.Release).
+	ReleaseMethods map[string]bool
+
+	// ReleaseFuncs are function or method names that release a pooled
+	// pointer argument (e.g. releasePHV, putJob, recycle).
+	ReleaseFuncs map[string]bool
+
+	// RetainScope lists import-path suffixes of the packages that operate
+	// the pools; the retention check applies only there. Outside them,
+	// holding a delivered packet is the receiver's right (see DESIGN.md
+	// "Pooling invariants").
+	RetainScope []string
+
+	// AllowSinkSuffix names the free-list convention: append/map targets
+	// whose identifier ends with this suffix (case-insensitive) are the
+	// pools themselves and may retain pooled values.
+	AllowSinkSuffix string
+}
+
+// DefaultPoolConfig matches the HyperTester repository's pools.
+func DefaultPoolConfig() PoolConfig {
+	return PoolConfig{
+		Pooled: map[string]bool{
+			"github.com/hypertester/hypertester/internal/netproto.Packet": true,
+			"github.com/hypertester/hypertester/internal/netsim.Event":    true,
+			"github.com/hypertester/hypertester/internal/asic.PHV":        true,
+			"github.com/hypertester/hypertester/internal/asic.pktJob":     true,
+		},
+		ReleaseMethods: map[string]bool{"Release": true},
+		ReleaseFuncs:   map[string]bool{"releasePHV": true, "putJob": true, "recycle": true},
+		RetainScope: []string{
+			"internal/asic", "internal/netsim", "internal/netproto",
+		},
+		AllowSinkSuffix: "free",
+	}
+}
+
+// PoolSafety builds the poolsafety analyzer for the given configuration.
+func PoolSafety(cfg PoolConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "poolsafety",
+		Doc: "flags pooled objects (Packet/PHV/Event/pktJob) used after release, " +
+			"released twice, or retained in slices/maps inside pool-owning packages",
+	}
+	a.Run = func(pass *Pass) error {
+		ps := &poolState{pass: pass, cfg: cfg}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						ps.scanStmts(fn.Body.List, map[types.Object]token.Pos{})
+					}
+				case *ast.FuncLit:
+					ps.scanStmts(fn.Body.List, map[types.Object]token.Pos{})
+				}
+				return true
+			})
+			if ps.inRetainScope() {
+				ps.checkRetention(f)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+type poolState struct {
+	pass *Pass
+	cfg  PoolConfig
+}
+
+func (ps *poolState) inRetainScope() bool {
+	for _, sfx := range ps.cfg.RetainScope {
+		if packagePathHasSuffix(ps.pass.Pkg.Path(), sfx) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPooled reports whether t is (a pointer to) a configured pooled type.
+func (ps *poolState) isPooled(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return ps.cfg.Pooled[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// releasedIdent returns the identifier whose pooled object call releases,
+// or nil if call is not a release.
+func (ps *poolState) releasedIdent(call *ast.CallExpr) *ast.Ident {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	// Receiver release: p.Release().
+	if ps.cfg.ReleaseMethods[sel.Sel.Name] {
+		if id, ok := sel.X.(*ast.Ident); ok && ps.isPooled(ps.pass.TypesInfo.TypeOf(id)) {
+			return id
+		}
+	}
+	// Argument release: sw.releasePHV(p), sw.putJob(j), s.recycle(e).
+	if ps.cfg.ReleaseFuncs[sel.Sel.Name] {
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && ps.isPooled(ps.pass.TypesInfo.TypeOf(id)) {
+				return id
+			}
+		}
+	}
+	return nil
+}
+
+// scanStmts walks one statement sequence tracking which pooled locals have
+// been released. Nested control-flow blocks inherit a copy of the released
+// set, so a release inside a branch never poisons the code after the
+// branch — conservative by design: every report is a straight-line
+// use-after-release.
+func (ps *poolState) scanStmts(stmts []ast.Stmt, released map[types.Object]token.Pos) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id := ps.releasedIdent(call); id != nil {
+					obj := ps.pass.TypesInfo.Uses[id]
+					// Check the rest of the call (other args) first.
+					for _, arg := range call.Args {
+						if arg != id {
+							ps.checkUses(arg, released)
+						}
+					}
+					if obj != nil {
+						if _, twice := released[obj]; twice {
+							ps.pass.Reportf(call.Pos(), "pooled %s %q released twice", typeNameOf(ps.pass.TypesInfo.TypeOf(id)), id.Name)
+						} else {
+							released[obj] = call.Pos()
+						}
+					}
+					continue
+				}
+			}
+			ps.checkUses(s.X, released)
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				ps.checkUses(rhs, released)
+			}
+			for _, lhs := range s.Lhs {
+				// A rebound identifier refers to a fresh object again.
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := ps.pass.TypesInfo.Uses[id]; obj != nil {
+						delete(released, obj)
+					}
+					if obj := ps.pass.TypesInfo.Defs[id]; obj != nil {
+						delete(released, obj)
+					}
+					continue
+				}
+				ps.checkUses(lhs, released)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				ps.scanStmts([]ast.Stmt{s.Init}, released)
+			}
+			ps.checkUses(s.Cond, released)
+			ps.scanStmts(s.Body.List, copyReleased(released))
+			if s.Else != nil {
+				ps.scanStmts([]ast.Stmt{s.Else}, copyReleased(released))
+			}
+		case *ast.BlockStmt:
+			ps.scanStmts(s.List, copyReleased(released))
+		case *ast.ForStmt:
+			ps.scanStmts(s.Body.List, copyReleased(released))
+		case *ast.RangeStmt:
+			ps.checkUses(s.X, released)
+			ps.scanStmts(s.Body.List, copyReleased(released))
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				ps.checkUses(s.Tag, released)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						ps.checkUses(e, released)
+					}
+					ps.scanStmts(cc.Body, copyReleased(released))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					ps.scanStmts(cc.Body, copyReleased(released))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					ps.scanStmts(cc.Body, copyReleased(released))
+				}
+			}
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Runs later (or concurrently); their FuncLit bodies are
+			// scanned independently by the file walk.
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				ps.checkUses(r, released)
+			}
+		default:
+			ps.checkUses(stmt, released)
+		}
+	}
+}
+
+// checkUses reports any identifier inside n that refers to a released
+// pooled object. It does not descend into function literals: those run at
+// another time and are scanned as independent bodies.
+func (ps *poolState) checkUses(n ast.Node, released map[types.Object]token.Pos) {
+	if n == nil || len(released) == 0 {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := ps.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if relPos, ok := released[obj]; ok {
+			ps.pass.Reportf(id.Pos(), "pooled %s %q used after release at %v",
+				typeNameOf(obj.Type()), id.Name, ps.pass.Fset.Position(relPos))
+		}
+		return true
+	})
+}
+
+// checkRetention flags pooled values escaping into slices or maps outside
+// the free-list convention.
+func (ps *poolState) checkRetention(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			id, ok := s.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" || len(s.Args) < 2 {
+				return true
+			}
+			if _, isBuiltin := ps.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if ps.allowedSink(s.Args[0]) {
+				return true
+			}
+			for _, arg := range s.Args[1:] {
+				if ps.isPooled(ps.pass.TypesInfo.TypeOf(arg)) {
+					ps.pass.Reportf(arg.Pos(),
+						"pooled %s retained by append into %s; pooled objects may only be retained by their free list",
+						typeNameOf(ps.pass.TypesInfo.TypeOf(arg)), exprName(s.Args[0]))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				idx, ok := lhs.(*ast.IndexExpr)
+				if !ok || i >= len(s.Rhs) && len(s.Rhs) != 1 {
+					continue
+				}
+				container := ps.pass.TypesInfo.TypeOf(idx.X)
+				if container == nil {
+					continue
+				}
+				if _, isMap := container.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if ps.allowedSink(idx.X) {
+					continue
+				}
+				rhs := s.Rhs[0]
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				}
+				if ps.isPooled(ps.pass.TypesInfo.TypeOf(rhs)) {
+					ps.pass.Reportf(rhs.Pos(),
+						"pooled %s stored into map %s; pooled objects may only be retained by their free list",
+						typeNameOf(ps.pass.TypesInfo.TypeOf(rhs)), exprName(idx.X))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// allowedSink reports whether the append/store target follows the
+// free-list naming convention.
+func (ps *poolState) allowedSink(e ast.Expr) bool {
+	name := exprName(e)
+	return strings.HasSuffix(strings.ToLower(name), strings.ToLower(ps.cfg.AllowSinkSuffix))
+}
+
+// exprName extracts a display identifier from a sink expression.
+func exprName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.StarExpr:
+		return exprName(x.X)
+	case *ast.IndexExpr:
+		return exprName(x.X)
+	}
+	return "<expr>"
+}
+
+func typeNameOf(t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func copyReleased(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+	c := make(map[types.Object]token.Pos, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

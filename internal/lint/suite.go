@@ -1,0 +1,12 @@
+package lint
+
+// DefaultAnalyzers returns the full HyperTester analyzer suite with the
+// repository's configuration — the set cmd/htlint and the clean-repo guard
+// test run.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		PoolSafety(DefaultPoolConfig()),
+		Determinism(DefaultDeterminismConfig()),
+		AtCall(DefaultAtCallConfig()),
+	}
+}

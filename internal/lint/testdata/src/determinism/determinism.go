@@ -1,0 +1,57 @@
+// Package determinism is the analyzer fixture: seeded wall-clock reads,
+// global-RNG draws and map-order iteration that simulation code must never
+// contain, next to the deterministic spellings that must stay silent.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `reads the wall clock`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `unseeded global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `unseeded global source`
+}
+
+// seededDraw is the blessed pattern: an explicit seeded source, as
+// netsim.NewRNG builds.
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// durationsOnly uses time's arithmetic types, which are deterministic and
+// allowed.
+func durationsOnly(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+func mapOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedOrder is the blessed pattern: collect keys, sort, then index.
+func sortedOrder(m map[int]int, keys []int) []int {
+	sort.Ints(keys)
+	var out []int
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+// Package poolsafety is the analyzer fixture: a miniature of the
+// repository's object pools (netproto.Packet / asic.PHV / the switch free
+// lists) with seeded violations of each pooling invariant. Lines carrying
+// a `// want` comment must produce exactly that diagnostic; unannotated
+// lines must stay silent.
+package poolsafety
+
+// Packet stands in for netproto.Packet.
+type Packet struct{ Data []byte }
+
+// Release returns the packet to its pool.
+func (p *Packet) Release() {}
+
+// PHV stands in for asic.PHV.
+type PHV struct{ Pkt *Packet }
+
+// Switch carries the pools and two illegal retention sinks.
+type Switch struct {
+	phvFree  []*PHV
+	retained []*Packet
+	byUID    map[uint64]*Packet
+}
+
+// releasePHV recycles p; appending to the free list is the one legal
+// retention.
+func (sw *Switch) releasePHV(p *PHV) {
+	p.Pkt = nil
+	sw.phvFree = append(sw.phvFree, p)
+}
+
+func useAfterRelease(p *Packet) {
+	p.Release()
+	_ = p.Data // want `used after release`
+}
+
+func doubleRelease(p *Packet) {
+	p.Release()
+	p.Release() // want `released twice`
+}
+
+func useAfterHelperRelease(sw *Switch, phv *PHV) {
+	sw.releasePHV(phv)
+	_ = phv.Pkt // want `used after release`
+}
+
+func releaseThenReturn(p *Packet) *Packet {
+	p.Release()
+	return p // want `used after release`
+}
+
+func retainInSlice(sw *Switch, p *Packet) {
+	sw.retained = append(sw.retained, p) // want `retained by append`
+}
+
+func retainInMap(sw *Switch, p *Packet) {
+	sw.byUID[7] = p // want `stored into map`
+}
+
+// branchRelease releases on one path only; using p afterwards is legal on
+// the fall-through path, and the analyzer must not cry wolf.
+func branchRelease(p *Packet, drop bool) {
+	if drop {
+		p.Release()
+		return
+	}
+	_ = p.Data
+}
+
+// rebind re-acquires: after reassignment the identifier refers to a fresh
+// object.
+func rebind(p *Packet) {
+	p.Release()
+	p = &Packet{}
+	_ = p.Data
+}
+
+// releaseOtherThenUse exercises precision: releasing one object must not
+// poison its neighbours.
+func releaseOtherThenUse(a, b *Packet) {
+	a.Release()
+	_ = b.Data
+}
+
+// suppressed shows the escape hatch: an owner may annotate an intentional
+// retention with a reason.
+func suppressed(sw *Switch, p *Packet) {
+	//htlint:ignore poolsafety fixture demonstrates deliberate suppression
+	sw.retained = append(sw.retained, p)
+}

@@ -115,6 +115,7 @@ func (q eventQueue) Swap(i, j int) {
 func (q *eventQueue) Push(x any) {
 	e := x.(*Event)
 	e.idx = len(*q)
+	//htlint:ignore poolsafety the pending-event heap is the scheduler's own custody: Pop nils the slot and step/Cancel recycle exactly once
 	*q = append(*q, e)
 }
 func (q *eventQueue) Pop() any {

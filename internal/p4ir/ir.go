@@ -97,15 +97,37 @@ type ControlStmt struct {
 	Else  []ControlStmt
 }
 
+// ParserEdge is one transition of the parse graph: after extracting From,
+// the parser may select To. Hardware parsers compile this graph into a
+// TCAM-driven state machine, which only terminates if the graph is acyclic.
+type ParserEdge struct {
+	From, To string
+}
+
 // Program is a full generated data-plane program.
 type Program struct {
 	Name      string
 	Headers   []string // parsed header names, e.g. "ethernet", "ipv4", "tcp"
+	Parser    []ParserEdge
 	Actions   []*ActionDef
 	Tables    []*TableDef
 	Registers []*RegisterDef
 	Ingress   []ControlStmt
 	Egress    []ControlStmt
+}
+
+// ParserGraph returns the parse graph: the explicit Parser edges when
+// present, otherwise a linear chain derived from Headers (the order the
+// compiler lists them is the order the frames carry them).
+func (p *Program) ParserGraph() []ParserEdge {
+	if len(p.Parser) > 0 {
+		return p.Parser
+	}
+	var edges []ParserEdge
+	for i := 1; i < len(p.Headers); i++ {
+		edges = append(edges, ParserEdge{From: p.Headers[i-1], To: p.Headers[i]})
+	}
+	return edges
 }
 
 // AddAction registers an action and returns it for chaining.

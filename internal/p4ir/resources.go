@@ -45,45 +45,11 @@ func Estimate(p *Program) Resources {
 	var r Resources
 
 	for _, t := range p.Tables {
-		keyBits := 0
-		for _, k := range t.Keys {
-			keyBits += k.Bits
-		}
-		keyBytes := (keyBits + 7) / 8
-		size := t.Size
-		if size == 0 {
-			size = 1
-		}
-		switch t.Match {
-		case MatchExact:
-			r.CrossbarBytes += keyBytes
-			// Exact match: hashed ways; entry = key + overhead + action data.
-			entryBits := keyBits + exactOverheadB + actionEntryBits
-			r.SRAMBlocks += ceilDiv(entryBits*size, sramBlockBits)
-			r.HashBits += keyBits // hash distribution over the key
-		case MatchTernary:
-			r.CrossbarBytes += keyBytes
-			entryBits := keyBits * 2 // value+mask
-			r.TCAMBlocks += ceilDiv(entryBits*size, tcamBlockBits)
-			r.SRAMBlocks += ceilDiv(actionEntryBits*size, sramBlockBits)
-		case MatchRange:
-			r.CrossbarBytes += keyBytes
-			// Range expansion: a [lo,hi] entry expands to up to 2w-2
-			// prefixes; price 4x TCAM per entry as the compiler does.
-			entryBits := keyBits * 2 * 4
-			r.TCAMBlocks += ceilDiv(entryBits*size, tcamBlockBits)
-			r.SRAMBlocks += ceilDiv(actionEntryBits*size, sramBlockBits)
-		}
-		// Per-table action VLIW slots.
-		for _, an := range t.Actions {
-			if a := p.action(an); a != nil {
-				r.Add(actionResources(p, a))
-			}
-		}
+		r.Add(TableCost(p, t))
 	}
 
 	for _, reg := range p.Registers {
-		r.SRAMBlocks += ceilDiv(reg.Width*reg.Size, sramBlockBits)
+		r.Add(RegisterCost(reg))
 	}
 
 	var walk func(stmts []ControlStmt)
@@ -99,6 +65,54 @@ func Estimate(p *Program) Resources {
 	walk(p.Ingress)
 	walk(p.Egress)
 	return r
+}
+
+// TableCost prices one table declaration: match memory and crossbar input
+// plus its actions' VLIW/SALU/hash usage. The IR verifier uses the same
+// accounting to place tables into stages, so totals (Estimate) and the
+// per-stage placement always agree.
+func TableCost(p *Program, t *TableDef) Resources {
+	var r Resources
+	keyBits := 0
+	for _, k := range t.Keys {
+		keyBits += k.Bits
+	}
+	keyBytes := (keyBits + 7) / 8
+	size := t.Size
+	if size == 0 {
+		size = 1
+	}
+	switch t.Match {
+	case MatchExact:
+		r.CrossbarBytes += keyBytes
+		// Exact match: hashed ways; entry = key + overhead + action data.
+		entryBits := keyBits + exactOverheadB + actionEntryBits
+		r.SRAMBlocks += ceilDiv(entryBits*size, sramBlockBits)
+		r.HashBits += keyBits // hash distribution over the key
+	case MatchTernary:
+		r.CrossbarBytes += keyBytes
+		entryBits := keyBits * 2 // value+mask
+		r.TCAMBlocks += ceilDiv(entryBits*size, tcamBlockBits)
+		r.SRAMBlocks += ceilDiv(actionEntryBits*size, sramBlockBits)
+	case MatchRange:
+		r.CrossbarBytes += keyBytes
+		// Range expansion: a [lo,hi] entry expands to up to 2w-2
+		// prefixes; price 4x TCAM per entry as the compiler does.
+		entryBits := keyBits * 2 * 4
+		r.TCAMBlocks += ceilDiv(entryBits*size, tcamBlockBits)
+		r.SRAMBlocks += ceilDiv(actionEntryBits*size, sramBlockBits)
+	}
+	for _, an := range t.Actions {
+		if a := p.action(an); a != nil {
+			r.Add(actionResources(p, a))
+		}
+	}
+	return r
+}
+
+// RegisterCost prices one register array's SRAM footprint.
+func RegisterCost(reg *RegisterDef) Resources {
+	return Resources{SRAMBlocks: ceilDiv(reg.Width*reg.Size, sramBlockBits)}
 }
 
 // actionResources prices one compound action.

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. Zero-allocation guard tests consult it: race instrumentation
+// inserts its own heap allocations, so allocs-per-op contracts only hold
+// in non-race builds.
+package raceflag
+
+// Enabled is true when built with -race.
+const Enabled = false
