@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench clean
+.PHONY: all build test race lint vet bench perfguard clean
 
 all: build test lint
 
@@ -23,6 +23,12 @@ vet:
 
 bench:
 	$(GO) run ./cmd/htbench -quick
+
+# Regenerate results and gate on the committed baseline: bit-identical
+# headlines, wall time within 15%.
+perfguard:
+	$(GO) run ./cmd/htbench -quick -workers 1 -json /tmp/htbench-fresh.json
+	$(GO) run ./cmd/perfguard -baseline BENCH_results.json -fresh /tmp/htbench-fresh.json
 
 clean:
 	$(GO) clean ./...

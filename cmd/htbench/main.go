@@ -22,13 +22,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/hypertester/hypertester/internal/asic"
 	"github.com/hypertester/hypertester/internal/experiments"
+	"github.com/hypertester/hypertester/internal/netsim"
 )
 
 // expReport is one experiment's entry in BENCH_results.json.
@@ -46,13 +50,49 @@ type expReport struct {
 
 // benchReport is the top-level BENCH_results.json document.
 type benchReport struct {
-	GeneratedUnix    int64       `json:"generated_unix"`
+	GeneratedUnix int64 `json:"generated_unix"`
+	// GitRev is the VCS revision the binary was built from ("unknown" when
+	// no build info or git checkout is available), so a results file is
+	// attributable to a commit.
+	GitRev string `json:"git_rev"`
+	// Scheduler and TableImpl tag the core data-structure implementations
+	// active for this run; they explain step changes in the trajectory.
+	Scheduler        string      `json:"scheduler"`
+	TableImpl        string      `json:"table_impl"`
 	Quick            bool        `json:"quick"`
 	Seed             int64       `json:"seed"`
 	Workers          int         `json:"workers"`
 	GOMAXPROCS       int         `json:"gomaxprocs"`
 	TotalWallSeconds float64     `json:"total_wall_s"`
 	Experiments      []expReport `json:"experiments"`
+}
+
+// gitRev resolves the source revision: stamped VCS build info first (present
+// for installed builds), then a live `git rev-parse` (the common `go run`
+// path), else "unknown".
+func gitRev() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
@@ -170,6 +210,9 @@ func main() {
 	if *jsonPath != "" {
 		doc := benchReport{
 			GeneratedUnix:    time.Now().Unix(),
+			GitRev:           gitRev(),
+			Scheduler:        netsim.SchedulerImpl,
+			TableImpl:        asic.TableImpl,
 			Quick:            *quick,
 			Seed:             *seed,
 			Workers:          *workers,

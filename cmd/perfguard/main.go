@@ -1,0 +1,122 @@
+// Command perfguard compares a freshly generated htbench results file
+// against the committed baseline BENCH_results.json and fails when the suite
+// regressed. It enforces two properties:
+//
+//   - correctness: every experiment's headline value must be bit-identical
+//     to the baseline — the simulator is deterministic, so any drift means a
+//     behavioral change, not noise;
+//   - performance: total wall time must stay within -tolerance (default
+//     15%) of the baseline.
+//
+// Usage:
+//
+//	perfguard -baseline BENCH_results.json -fresh /tmp/bench.json
+//
+// Exit status is non-zero on any violation, so CI can gate on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type expReport struct {
+	ID            string  `json:"id"`
+	HeadlineValue float64 `json:"headline_value"`
+	HeadlineUnit  string  `json:"headline_unit"`
+	WallSeconds   float64 `json:"wall_s"`
+}
+
+type benchReport struct {
+	GitRev           string      `json:"git_rev"`
+	Quick            bool        `json:"quick"`
+	Seed             int64       `json:"seed"`
+	TotalWallSeconds float64     `json:"total_wall_s"`
+	Experiments      []expReport `json:"experiments"`
+}
+
+func load(path string) (*benchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_results.json", "committed baseline results")
+	freshPath := flag.String("fresh", "", "freshly generated results to check (required)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional wall-time regression")
+	flag.Parse()
+
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "perfguard: -fresh is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfguard: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfguard: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Quick != fresh.Quick || base.Seed != fresh.Seed {
+		fmt.Fprintf(os.Stderr, "perfguard: config mismatch: baseline quick=%v seed=%d, fresh quick=%v seed=%d\n",
+			base.Quick, base.Seed, fresh.Quick, fresh.Seed)
+		os.Exit(2)
+	}
+
+	baseByID := make(map[string]expReport, len(base.Experiments))
+	order := make([]string, 0, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseByID[e.ID] = e
+		order = append(order, e.ID)
+	}
+
+	violations := 0
+	seen := make(map[string]bool, len(fresh.Experiments))
+	for _, f := range fresh.Experiments {
+		seen[f.ID] = true
+		b, ok := baseByID[f.ID]
+		if !ok {
+			// New experiments are fine; they just have no baseline yet.
+			fmt.Printf("perfguard: %-12s new experiment (no baseline)\n", f.ID)
+			continue
+		}
+		if f.HeadlineValue != b.HeadlineValue || f.HeadlineUnit != b.HeadlineUnit {
+			fmt.Printf("perfguard: %-12s HEADLINE DRIFT: %v %s -> %v %s\n",
+				f.ID, b.HeadlineValue, b.HeadlineUnit, f.HeadlineValue, f.HeadlineUnit)
+			violations++
+		}
+	}
+	for _, id := range order {
+		if !seen[id] {
+			fmt.Printf("perfguard: %-12s MISSING from fresh results\n", id)
+			violations++
+		}
+	}
+
+	limit := base.TotalWallSeconds * (1 + *tolerance)
+	fmt.Printf("perfguard: wall %.3fs vs baseline %.3fs (limit %.3fs, rev %s)\n",
+		fresh.TotalWallSeconds, base.TotalWallSeconds, limit, fresh.GitRev)
+	if fresh.TotalWallSeconds > limit {
+		fmt.Printf("perfguard: WALL-TIME REGRESSION: %.3fs > %.3fs (+%.0f%% over baseline)\n",
+			fresh.TotalWallSeconds, limit, (fresh.TotalWallSeconds/base.TotalWallSeconds-1)*100)
+		violations++
+	}
+
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "perfguard: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("perfguard: ok")
+}

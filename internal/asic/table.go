@@ -3,7 +3,6 @@ package asic
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 )
 
 // Action is the code body of a match-action entry. Actions run against the
@@ -50,6 +49,13 @@ type Table struct {
 	exact   map[string]Action
 	ternary []ternaryEntry
 	ranges  []rangeEntry
+
+	// dirty marks the sorted order and lookup indexes stale after a
+	// control-plane change; ensureIndex rebuilds them once per batch
+	// instead of re-sorting on every insert.
+	dirty bool
+	tern  ternaryIndex
+	rng   rangeIndex
 
 	// Hits and Misses count lookups for statistics and tests.
 	Hits, Misses uint64
@@ -138,7 +144,7 @@ func (t *Table) AddTernary(value, mask []uint64, priority int, a Action) error {
 		return err
 	}
 	t.ternary = append(t.ternary, ternaryEntry{value: value, mask: mask, priority: priority, action: a})
-	sort.SliceStable(t.ternary, func(i, j int) bool { return t.ternary[i].priority > t.ternary[j].priority })
+	t.dirty = true
 	return nil
 }
 
@@ -157,25 +163,30 @@ func (t *Table) AddRange(lo, hi uint64, priority int, a Action) error {
 		return err
 	}
 	t.ranges = append(t.ranges, rangeEntry{lo: lo, hi: hi, priority: priority, action: a})
-	sort.SliceStable(t.ranges, func(i, j int) bool { return t.ranges[i].priority > t.ranges[j].priority })
+	t.dirty = true
 	return nil
 }
 
-// DeleteTernary removes the first entry matching value/mask exactly.
+// DeleteTernary removes the first entry matching value/mask exactly, in
+// priority order — so the index is brought up to date first.
 func (t *Table) DeleteTernary(value, mask []uint64) {
+	t.ensureIndex()
 	for i := range t.ternary {
 		if equalU64(t.ternary[i].value, value) && equalU64(t.ternary[i].mask, mask) {
 			t.ternary = append(t.ternary[:i], t.ternary[i+1:]...)
+			t.dirty = true
 			return
 		}
 	}
 }
 
-// DeleteRange removes the first [lo,hi] entry.
+// DeleteRange removes the first [lo,hi] entry in priority order.
 func (t *Table) DeleteRange(lo, hi uint64) {
+	t.ensureIndex()
 	for i := range t.ranges {
 		if t.ranges[i].lo == lo && t.ranges[i].hi == hi {
 			t.ranges = append(t.ranges[:i], t.ranges[i+1:]...)
+			t.dirty = true
 			return
 		}
 	}
@@ -205,31 +216,24 @@ func (t *Table) Apply(p *PHV) bool {
 	hit := false
 	switch t.Kind {
 	case MatchExact:
-		if a, ok := t.exact[exactKey(keys)]; ok {
+		// Key bytes stay on the stack: indexing the map with a converted
+		// byte slice does not allocate.
+		var kb [32]byte
+		for i, v := range keys {
+			binary.BigEndian.PutUint64(kb[i*8:], v)
+		}
+		if a, ok := t.exact[string(kb[:8*len(keys)])]; ok {
 			act, hit = a, true
 		}
 	case MatchTernary:
-		for i := range t.ternary {
-			e := &t.ternary[i]
-			match := true
-			for j := range keys {
-				if keys[j]&e.mask[j] != e.value[j]&e.mask[j] {
-					match = false
-					break
-				}
-			}
-			if match {
-				act, hit = e.action, true
-				break
-			}
+		t.ensureIndex()
+		if i, ok := t.lookupTernary(keys); ok {
+			act, hit = t.ternary[i].action, true
 		}
 	case MatchRange:
-		for i := range t.ranges {
-			e := &t.ranges[i]
-			if keys[0] >= e.lo && keys[0] <= e.hi {
-				act, hit = e.action, true
-				break
-			}
+		t.ensureIndex()
+		if i, ok := t.lookupRange(keys[0]); ok {
+			act, hit = t.ranges[i].action, true
 		}
 	}
 	if hit {

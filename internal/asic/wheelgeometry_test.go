@@ -1,0 +1,65 @@
+package asic
+
+import (
+	"testing"
+
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+)
+
+// TestWheelGeometryCoversCalibration pins the relationship between the
+// netsim timing wheel's bucket geometry and the calibration constants in
+// timing.go. The wheel's levels are sized so that each class of scheduler
+// horizon this package generates lands in O(1) wheel buckets rather than
+// the overflow heap; if a calibration constant drifts past its level's
+// span, this test names the invariant that broke. (The test lives here
+// because netsim cannot import asic without a cycle.)
+func TestWheelGeometryCoversCalibration(t *testing.T) {
+	span := func(k int) netsim.Duration { return netsim.WheelLevelSpan(k) }
+
+	// Level 0 (256 ps buckets, 65.5 ns span) must resolve the minimum
+	// template inter-arrival — the 6.4 ns wire time of a 64-byte frame at
+	// the 100 Gbps recirculation port — with room for tens of buckets, so
+	// back-to-back template departures never collapse into one bucket.
+	interArrival := netsim.Ns(netproto.WireTimeNs(64, RecircGbps))
+	if interArrival < 8*netsim.WheelBucketWidth(0) {
+		t.Fatalf("level-0 buckets too coarse: inter-arrival %v vs bucket %v",
+			interArrival, netsim.WheelBucketWidth(0))
+	}
+	if interArrival >= span(0) {
+		t.Fatalf("inter-arrival %v beyond level-0 span %v", interArrival, span(0))
+	}
+
+	// Level 1 (65.5 ns buckets, 16.8 µs span) must hold the per-packet
+	// pipeline delays: the fixed pipeline latency, the 64-byte loop RTT,
+	// and the multicast replication delay for the largest frame.
+	for _, c := range []struct {
+		name string
+		d    netsim.Duration
+	}{
+		{"PipelineFixedNs", netsim.Ns(PipelineFixedNs)},
+		{"LoopRTT(64)", netsim.Ns(LoopRTTNs(64))},
+		{"McastDelay(1500)", netsim.Ns(McastDelayNs(1500))},
+	} {
+		if c.d >= span(1) {
+			t.Fatalf("%s = %v beyond level-1 span %v", c.name, c.d, span(1))
+		}
+		if c.d < netsim.WheelBucketWidth(1) {
+			t.Fatalf("%s = %v fits in one level-1 bucket width %v — level 0 should own it",
+				c.name, c.d, netsim.WheelBucketWidth(1))
+		}
+	}
+
+	// Level 2 (16.8 µs buckets, 4.3 ms span) owns measurement-window and
+	// rate-control horizons: 1 Mpps pacing (1 µs) through quick-mode
+	// windows (1 ms) stay at or below this level.
+	if netsim.Duration(1*netsim.Millisecond) >= span(2) {
+		t.Fatalf("1 ms quick window beyond level-2 span %v", span(2))
+	}
+
+	// Level 3 (4.3 ms buckets, 1.1 s span) must cover full experiment
+	// windows (100 ms scale) without spilling every timer to overflow.
+	if netsim.Duration(100*netsim.Millisecond) >= span(3) {
+		t.Fatalf("100 ms full window beyond level-3 span %v", span(3))
+	}
+}

@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"encoding/binary"
+	"math/bits"
 
 	"github.com/hypertester/hypertester/internal/asic"
 )
@@ -49,26 +50,51 @@ func ComputeExactKeys(tuples [][]uint64, arraySize, digestBits int, polyA1, poly
 	halt := asic.NewHashUnit("fp-alt", polyA2)
 	hd := asic.NewHashUnit("fp-digest", polyDigest)
 
-	type cell struct {
-		slot   uint32
-		digest uint32
+	// Occupied (slot, digest) cells, packed slot<<32|digest into an
+	// open-addressed table. CuckooSlots never returns digest 0 (zero marks
+	// an empty runtime cell), so a packed cell is never 0 and 0 can mark
+	// empty probe slots here too. Sized for <=50% load at two cells per
+	// tuple, probed linearly from a Fibonacci-mixed home slot.
+	tableSize := 16
+	for tableSize < 4*len(tuples) {
+		tableSize <<= 1
 	}
-	owner := make(map[cell]int, 2*len(tuples))
-	needExact := map[int]bool{}
-
-	for i, t := range tuples {
-		k := EncodeKey(t)
-		idx1, idx2, d := CuckooSlots(k, arraySize, digestBits, h1, hd, halt)
-		for _, c := range [2]cell{{uint32(idx1), d}, {uint32(idx2), d}} {
-			if _, taken := owner[c]; taken {
-				needExact[i] = true
-			} else {
-				owner[c] = i
+	shift := uint(64 - bits.TrailingZeros(uint(tableSize)))
+	mask := uint64(tableSize - 1)
+	set := make([]uint64, tableSize)
+	// claim records c if absent and reports whether it was already present.
+	claim := func(c uint64) bool {
+		h := (c * 0x9e3779b97f4a7c15) >> shift
+		for {
+			switch set[h] {
+			case 0:
+				set[h] = c
+				return false
+			case c:
+				return true
 			}
+			h = (h + 1) & mask
 		}
 	}
 
-	out := make([][]uint64, 0, len(needExact))
+	needExact := make([]bool, len(tuples))
+	need := 0
+	var kbuf []byte
+	for i, t := range tuples {
+		kbuf = AppendKey(kbuf[:0], t)
+		idx1, idx2, d := CuckooSlots(kbuf, arraySize, digestBits, h1, hd, halt)
+		// Claim both candidate cells in order; either being taken (including
+		// by this key's own first claim, when idx1 == idx2) means a runtime
+		// lookup could land on a foreign cell, so the key needs exact-match
+		// coverage.
+		taken := claim(uint64(uint32(idx1))<<32 | uint64(d))
+		if claim(uint64(uint32(idx2))<<32|uint64(d)) || taken {
+			needExact[i] = true
+			need++
+		}
+	}
+
+	out := make([][]uint64, 0, need)
 	for i := range tuples {
 		if needExact[i] {
 			out = append(out, tuples[i])
@@ -80,9 +106,14 @@ func ComputeExactKeys(tuples [][]uint64, arraySize, digestBits int, polyA1, poly
 // EncodeKey serializes a key tuple into hash-input bytes, the canonical
 // form shared by the compiler's precomputation and the runtime's lookups.
 func EncodeKey(t []uint64) []byte {
-	b := make([]byte, 8*len(t))
-	for i, v := range t {
-		binary.BigEndian.PutUint64(b[i*8:], v)
+	return AppendKey(make([]byte, 0, 8*len(t)), t)
+}
+
+// AppendKey appends t's canonical hash-input encoding to dst and returns the
+// extended slice, letting hot loops reuse one buffer across keys.
+func AppendKey(dst []byte, t []uint64) []byte {
+	for _, v := range t {
+		dst = binary.BigEndian.AppendUint64(dst, v)
 	}
-	return b
+	return dst
 }

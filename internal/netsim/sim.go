@@ -11,10 +11,13 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
+
+// SchedulerImpl tags the active scheduler implementation, recorded into
+// BENCH_results.json so the bench trajectory is attributable across PRs.
+const SchedulerImpl = "timing-wheel/v1"
 
 // Time is a point in virtual time, in picoseconds since simulation start.
 type Time int64
@@ -92,48 +95,27 @@ type Event struct {
 	fn2  func(any)
 	arg  any
 	done bool // cancelled or executed
-	idx  int  // heap index, -1 when not queued
+	// Location inside the scheduler, for O(1) Cancel: which container
+	// (whereDue / whereWheel / whereOverflow), the wheel coordinates and
+	// list links when bucketed, and the heap position otherwise. Buckets
+	// are intrusive doubly-linked lists, so filing and unlinking events
+	// never touches the heap allocator.
+	where      int8
+	level      uint8
+	bucket     uint8
+	idx        int32
+	next, prev *Event
 }
 
 // Time reports when the event is due.
 func (e *Event) Time() Time { return e.at }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	//htlint:ignore poolsafety the pending-event heap is the scheduler's own custody: Pop nils the slot and step/Cancel recycle exactly once
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
-}
-
-// Sim owns the virtual clock and the pending-event queue. It is not safe for
-// concurrent use: the simulation is single-threaded by design, mirroring the
-// determinism of the hardware it stands in for.
+// Sim owns the virtual clock and the pending-event timing wheel (see
+// wheel.go). It is not safe for concurrent use: the simulation is
+// single-threaded by design, mirroring the determinism of the hardware it
+// stands in for.
 type Sim struct {
 	now     Time
-	queue   eventQueue
 	seq     uint64
 	stopped bool
 	// free is the recycled-event pool. Steady-state scheduling pops from
@@ -142,10 +124,22 @@ type Sim struct {
 	free []*Event
 	// Executed counts events that have run, for loop-detection in tests.
 	Executed uint64
+
+	// Timing-wheel state. base is the drain frontier: every event in the
+	// wheel or overflow is at >= base; everything earlier already sits in
+	// the due heap, ordered by (at, seq).
+	base     Time
+	due      eventHeap
+	overflow eventHeap
+	levels   [WheelLevels][WheelBuckets]*Event
+	occ      [WheelLevels][occWords]uint64
+	pending  int
 }
 
 // New returns an empty simulation positioned at time zero.
-func New() *Sim { return &Sim{} }
+func New() *Sim {
+	return &Sim{due: eventHeap{tag: whereDue}, overflow: eventHeap{tag: whereOverflow}}
+}
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
@@ -165,8 +159,14 @@ func (s *Sim) alloc(at Time) *Event {
 	} else {
 		e = &Event{}
 	}
-	e.at, e.seq, e.idx = at, s.seq, -1
+	e.at, e.seq, e.where = at, s.seq, whereNone
 	return e
+}
+
+// schedule files a freshly allocated event into the wheel.
+func (s *Sim) schedule(e *Event) {
+	s.pending++
+	s.place(e)
 }
 
 // recycle returns an executed or cancelled event to the pool, dropping its
@@ -181,7 +181,7 @@ func (s *Sim) recycle(e *Event) {
 func (s *Sim) At(at Time, fn func()) *Event {
 	e := s.alloc(at)
 	e.fn = fn
-	heap.Push(&s.queue, e)
+	s.schedule(e)
 	return e
 }
 
@@ -192,7 +192,7 @@ func (s *Sim) At(at Time, fn func()) *Event {
 func (s *Sim) AtCall(at Time, fn func(any), arg any) *Event {
 	e := s.alloc(at)
 	e.fn2, e.arg = fn, arg
-	heap.Push(&s.queue, e)
+	s.schedule(e)
 	return e
 }
 
@@ -207,16 +207,17 @@ func (s *Sim) AfterCall(d Duration, fn func(any), arg any) *Event {
 // Cancel removes a pending event. Cancelling an already-run or already-
 // cancelled event is a no-op.
 func (s *Sim) Cancel(e *Event) {
-	if e == nil || e.done || e.idx < 0 {
+	if e == nil || e.done || e.where == whereNone {
 		return
 	}
-	heap.Remove(&s.queue, e.idx)
+	s.unlink(e)
+	s.pending--
 	e.done = true
 	s.recycle(e)
 }
 
 // Pending reports the number of queued events.
-func (s *Sim) Pending() int { return len(s.queue) }
+func (s *Sim) Pending() int { return s.pending }
 
 // Stop makes the currently running Run/RunUntil return after the current
 // event completes. Pending events stay queued.
@@ -225,10 +226,11 @@ func (s *Sim) Stop() { s.stopped = true }
 // step runs the earliest pending event. It reports false when the queue is
 // empty.
 func (s *Sim) step() bool {
-	if len(s.queue) == 0 {
+	if s.due.len() == 0 && !s.advance() {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
+	e := s.due.popMin()
+	s.pending--
 	s.now = e.at
 	e.done = true
 	s.Executed++
@@ -256,7 +258,7 @@ func (s *Sim) Run() {
 func (s *Sim) RunUntil(deadline Time) {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.queue) == 0 || s.queue[0].at > deadline {
+		if e := s.peek(); e == nil || e.at > deadline {
 			break
 		}
 		s.step()
