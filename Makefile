@@ -24,6 +24,11 @@ vet:
 bench:
 	$(GO) run ./cmd/htbench -quick
 
+# Same suite with each testbed partitioned onto the parallel LP engine;
+# headlines are bit-identical to `bench`.
+bench-par:
+	$(GO) run ./cmd/htbench -quick -simworkers 4
+
 # Regenerate results and gate on the committed baseline: bit-identical
 # headlines, wall time within 15%.
 perfguard:

@@ -5,15 +5,19 @@
 //
 // Usage:
 //
-//	htbench [-quick] [-seed N] [-run substr] [-workers N]
+//	htbench [-quick] [-seed N] [-run substr] [-workers N] [-simworkers N]
 //	        [-json file] [-cpuprofile file] [-memprofile file]
 //
 // -run selects experiments whose ID contains the substring (e.g. "Fig. 11"
 // or "Table"); the default runs everything in paper order. Experiments fan
 // out across -workers goroutines (default GOMAXPROCS; results are
 // bit-identical to -workers 1 — each experiment owns its simulator and
-// seeded RNG streams). Per-experiment allocation counts are only recorded
-// with -workers 1, where the runtime's allocation counters are attributable
+// seeded RNG streams). -simworkers > 1 additionally parallelizes INSIDE
+// each experiment: device topologies run on the conservative parallel
+// discrete-event engine (one logical process per device) and CPU-bound
+// sweeps on a same-width pool, again with bit-identical results.
+// Per-experiment allocation counts are only recorded with -workers 1 and
+// -simworkers 1, where the runtime's allocation counters are attributable
 // to a single experiment at a time.
 package main
 
@@ -59,9 +63,14 @@ type benchReport struct {
 	// active for this run; they explain step changes in the trajectory.
 	Scheduler        string      `json:"scheduler"`
 	TableImpl        string      `json:"table_impl"`
+	// Engine is the discrete-event engine the testbeds ran on: the
+	// sequential scheduler when SimWorkers <= 1, the parallel LP engine
+	// otherwise.
+	Engine           string      `json:"engine"`
 	Quick            bool        `json:"quick"`
 	Seed             int64       `json:"seed"`
 	Workers          int         `json:"workers"`
+	SimWorkers       int         `json:"sim_workers"`
 	GOMAXPROCS       int         `json:"gomaxprocs"`
 	TotalWallSeconds float64     `json:"total_wall_s"`
 	Experiments      []expReport `json:"experiments"`
@@ -95,17 +104,29 @@ func gitRev() string {
 	return strings.TrimSpace(string(out))
 }
 
+// engineName tags which discrete-event engine ran the testbeds.
+func engineName(simWorkers int) string {
+	if simWorkers > 1 {
+		return netsim.EngineImpl
+	}
+	return "sequential"
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink measurement windows and sweeps")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	run := flag.String("run", "", "only run experiments whose ID contains this substring")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "experiment worker-pool size")
+	simWorkers := flag.Int("simworkers", 1, "per-experiment worker budget: >1 runs testbeds on the parallel LP engine")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results here (empty to disable)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here (captured after the run)")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *simWorkers < 1 {
+		*simWorkers = 1
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, SimWorkers: *simWorkers}
 
 	var specs []experiments.Spec
 	for _, sp := range experiments.Specs() {
@@ -135,7 +156,7 @@ func main() {
 	if *workers < 1 {
 		*workers = 1
 	}
-	sequential := *workers == 1
+	sequential := *workers == 1 && *simWorkers == 1
 
 	// Wrap each spec to record its own wall clock (and, when running
 	// sequentially, its allocation count) without perturbing the runner.
@@ -213,9 +234,11 @@ func main() {
 			GitRev:           gitRev(),
 			Scheduler:        netsim.SchedulerImpl,
 			TableImpl:        asic.TableImpl,
+			Engine:           engineName(*simWorkers),
 			Quick:            *quick,
 			Seed:             *seed,
 			Workers:          *workers,
+			SimWorkers:       *simWorkers,
 			GOMAXPROCS:       prevMaxProcs,
 			TotalWallSeconds: total.Seconds(),
 			Experiments:      reports,

@@ -6,7 +6,11 @@
 //     to the baseline — the simulator is deterministic, so any drift means a
 //     behavioral change, not noise;
 //   - performance: total wall time must stay within -tolerance (default
-//     15%) of the baseline.
+//     15%) of the baseline, and — when both files carry per-experiment
+//     allocation counts for the same sim_workers setting — each
+//     experiment's allocs_op must stay within -allocs-tolerance (default
+//     10%, plus a small absolute slack for tiny experiments) of its
+//     baseline.
 //
 // Usage:
 //
@@ -27,12 +31,15 @@ type expReport struct {
 	HeadlineValue float64 `json:"headline_value"`
 	HeadlineUnit  string  `json:"headline_unit"`
 	WallSeconds   float64 `json:"wall_s"`
+	AllocsPerOp   *uint64 `json:"allocs_op,omitempty"`
 }
 
 type benchReport struct {
 	GitRev           string      `json:"git_rev"`
+	Engine           string      `json:"engine"`
 	Quick            bool        `json:"quick"`
 	Seed             int64       `json:"seed"`
+	SimWorkers       int         `json:"sim_workers"`
 	TotalWallSeconds float64     `json:"total_wall_s"`
 	Experiments      []expReport `json:"experiments"`
 }
@@ -53,6 +60,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_results.json", "committed baseline results")
 	freshPath := flag.String("fresh", "", "freshly generated results to check (required)")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional wall-time regression")
+	allocsTolerance := flag.Float64("allocs-tolerance", 0.10, "allowed fractional per-experiment allocation regression")
 	flag.Parse()
 
 	if *freshPath == "" {
@@ -96,6 +104,20 @@ func main() {
 			fmt.Printf("perfguard: %-12s HEADLINE DRIFT: %v %s -> %v %s\n",
 				f.ID, b.HeadlineValue, b.HeadlineUnit, f.HeadlineValue, f.HeadlineUnit)
 			violations++
+		}
+		// Allocation gate: only when both runs attribute allocations to
+		// single experiments under the same engine configuration (counts
+		// from parallel runs mix experiments and are not comparable).
+		if b.AllocsPerOp != nil && f.AllocsPerOp != nil && base.SimWorkers == fresh.SimWorkers {
+			// The absolute slack absorbs runtime-internal allocations
+			// (GC metadata, pool repopulation) in tiny experiments.
+			const slack = 2000
+			limit := uint64(float64(*b.AllocsPerOp)*(1+*allocsTolerance)) + slack
+			if *f.AllocsPerOp > limit {
+				fmt.Printf("perfguard: %-12s ALLOCS REGRESSION: %d -> %d allocs/op (limit %d)\n",
+					f.ID, *b.AllocsPerOp, *f.AllocsPerOp, limit)
+				violations++
+			}
 		}
 	}
 	for _, id := range order {

@@ -147,3 +147,59 @@ func BenchmarkMcastReplicate(b *testing.B) {
 		sim.Run()
 	}
 }
+
+// TestDigestPathZeroAllocs pins the allocation contract of the §5.2 digest
+// channel: a frame whose pipeline pass emits a generate_digest message —
+// queueing it, draining it over the rate-limited channel, and handing it to
+// the CPU-side callback — must recycle every buffer (packet, PHV, event,
+// digest message) through its pool and never touch the heap in steady state.
+func TestDigestPathZeroAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; the contract holds in non-race builds")
+	}
+	sim, sw := benchTestSwitch(t, 1)
+	payload := make([]byte, 64)
+	sw.Ingress.Add(ProcessorFunc(func(p *PHV) {
+		p.DigestData = payload
+		p.Drop = true
+	}))
+	var digests, bytes uint64
+	sw.DigestOut = func(msg []byte, at netsim.Time) {
+		digests++
+		bytes += uint64(len(msg))
+	}
+	base := testFrame(t, 64)
+	run := func() {
+		sw.Port(0).Receive(base.Clone())
+		sim.Run() // includes the 455us channel-service drain event
+	}
+	for i := 0; i < 32; i++ { // warm the pools
+		run()
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if avg := testing.AllocsPerRun(200, run); avg != 0 {
+		t.Fatalf("digest emit+drain allocates %v allocs/op, want 0", avg)
+	}
+	if digests == 0 || bytes == 0 {
+		t.Fatalf("digest callback never ran (digests=%d bytes=%d)", digests, bytes)
+	}
+}
+
+// BenchmarkDigestPath measures one digest-emitting pipeline pass plus its
+// channel drain (the Fig. 16a inner loop).
+func BenchmarkDigestPath(b *testing.B) {
+	sim, sw := benchSwitch(b, 1)
+	payload := make([]byte, 64)
+	sw.Ingress.Add(ProcessorFunc(func(p *PHV) {
+		p.DigestData = payload
+		p.Drop = true
+	}))
+	sw.DigestOut = func(msg []byte, at netsim.Time) {}
+	base := benchFrame(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Port(0).Receive(base.Clone())
+		sim.Run()
+	}
+}

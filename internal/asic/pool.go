@@ -47,6 +47,9 @@ type pktJob struct {
 	sw   *Switch
 	pkt  *netproto.Packet
 	port *Port
+	// n carries a byte count for jobs that outlive their packet (the packet
+	// is already handed across an LP boundary when the job fires).
+	n int
 }
 
 // job builds a pooled hop descriptor.
@@ -60,9 +63,18 @@ func (sw *Switch) job(pkt *netproto.Packet, port *Port) *pktJob {
 	return &pktJob{sw: sw, pkt: pkt, port: port}
 }
 
+// jobN builds a pooled descriptor carrying only a byte count — used for TX
+// counter credits on cross-LP links, where the frame itself has already been
+// staged to the remote LP.
+func (sw *Switch) jobN(n int, port *Port) *pktJob {
+	j := sw.job(nil, port)
+	j.n = n
+	return j
+}
+
 // putJob recycles a hop descriptor at the start of its callback.
 func (sw *Switch) putJob(j *pktJob) {
-	j.pkt, j.port = nil, nil
+	j.pkt, j.port, j.n = nil, nil, 0
 	sw.jobFree = append(sw.jobFree, j)
 }
 
@@ -101,6 +113,16 @@ func runTransmitJob(a any) {
 	pkt, port := j.pkt, j.port
 	j.sw.putJob(j)
 	port.Transmit(pkt)
+}
+
+// runTxCountJob credits TX counters at serialization end for frames staged
+// to a remote LP at Transmit time (see Port.Transmit's remote path).
+func runTxCountJob(a any) {
+	j := a.(*pktJob)
+	port, n := j.port, j.n
+	j.sw.putJob(j)
+	port.TxPackets++
+	port.TxBytes += uint64(n)
 }
 
 // runTxDoneJob fires when the last bit of a frame leaves the port.

@@ -23,6 +23,13 @@ type Port struct {
 	// (an unplugged port).
 	peer func(pkt *netproto.Packet, at netsim.Time)
 
+	// remote, when set, diverts transmissions to a cross-LP channel of the
+	// parallel engine: it runs at Transmit time (not serialization end)
+	// with the computed end-of-serialization timestamp, so the partitioned
+	// testbed can stage the delivery with full lookahead. TX counters are
+	// still credited at serialization end by a local event.
+	remote func(pkt *netproto.Packet, end netsim.Time)
+
 	txBusyUntil netsim.Time
 
 	// MaxBacklog bounds how far ahead of real time the TX queue may run
@@ -42,6 +49,14 @@ const DefaultMaxBacklog = 50 * netsim.Microsecond
 
 // SetPeer attaches the frame sink called at serialization end.
 func (pt *Port) SetPeer(fn func(pkt *netproto.Packet, at netsim.Time)) { pt.peer = fn }
+
+// SetRemote diverts this port's transmissions to a cross-LP staging hook
+// (see the remote field). Used by testbed.Partition for partitioned links;
+// mutually exclusive with loopback mode.
+func (pt *Port) SetRemote(fn func(pkt *netproto.Packet, end netsim.Time)) { pt.remote = fn }
+
+// Sim returns the simulation clock this port (via its switch) is bound to.
+func (pt *Port) Sim() *netsim.Sim { return pt.sw.sim }
 
 // Transmit enqueues a frame for serialization at the port rate. It is called
 // by the switch at egress-pipeline completion time. A tail-dropped frame's
@@ -65,6 +80,21 @@ func (pt *Port) Transmit(pkt *netproto.Packet) {
 	wire := netsim.Ns(netproto.WireTimeNs(pkt.Len(), pt.Gbps))
 	end := start.Add(wire)
 	pt.txBusyUntil = end
+	if pt.remote != nil && !pt.Loopback {
+		// Cross-LP path: perform txDone's bookkeeping now — the packet is
+		// handed to the staging engine and must not be touched afterwards —
+		// and credit TX counters with a local event at serialization end,
+		// exactly when the sequential engine would.
+		sim.AtCall(end, runTxCountJob, pt.sw.jobN(pkt.Len(), pt))
+		pkt.Meta.EgressPs = int64(end)
+		pkt.Meta.TemplateID = 0
+		pkt.Meta.Replica = false
+		pkt.Meta.ReplicaID = 0
+		pkt.Meta.SeqID = 0
+		pkt.Meta.Record = nil
+		pt.remote(pkt, end)
+		return
+	}
 	sim.AtCall(end, runTxDoneJob, pt.sw.job(pkt, pt))
 }
 
@@ -118,3 +148,28 @@ func (pt *Port) Utilization(window netsim.Duration) float64 {
 // Deliver is Receive under the name the testbed wiring uses for any frame
 // destination (switch port or device interface).
 func (pt *Port) Deliver(pkt *netproto.Packet) { pt.Receive(pkt) }
+
+// DeliverLookahead is the calibrated latency between a frame's wire arrival
+// and the first state-bearing event its delivery schedules: the MAC +
+// ingress-pipeline entry latency. A partitioned testbed adds it to the
+// cross-LP lookahead of any channel terminating at a switch port, widening
+// synchronization windows by ~17x over the bare wire+cable bound.
+func (pt *Port) DeliverLookahead() netsim.Duration {
+	return netsim.Duration(IngressLatencyNs) * netsim.Nanosecond
+}
+
+// DeliverDeferred is the cross-LP delivery entry point: it performs arrival
+// bookkeeping (with the original arrival timestamp) and enters the ingress
+// pipeline directly. The caller must invoke it on the owning LP's clock at
+// arrival + DeliverLookahead() — the instant Receive's deferred ingress
+// event would have run. RX counters are credited here, i.e. one ingress
+// latency later than the sequential engine credits them; register state,
+// digests and every downstream timestamp are unaffected (the ingress pass
+// itself happens at the same instant in both engines).
+func (pt *Port) DeliverDeferred(pkt *netproto.Packet, arrival netsim.Time) {
+	pt.RxPackets++
+	pt.RxBytes += uint64(pkt.Len())
+	pkt.Meta.IngressPs = int64(arrival)
+	pkt.Meta.InPort = pt.ID
+	pt.sw.ingress(pkt)
+}

@@ -44,12 +44,17 @@ type Switch struct {
 	rngMcast *netsim.RNG // replication-engine jitter
 
 	// DigestOut receives generate_digest messages on the switch-CPU side
-	// after the PCIe channel's service delay.
+	// after the PCIe channel's service delay. The data slice is pooled: it
+	// is valid only for the duration of the call, and receivers that retain
+	// digest contents must copy them out.
 	DigestOut func(data []byte, at netsim.Time)
 
 	digestBusyUntil netsim.Time
 	digestQueue     digestRing
 	digestDraining  bool
+	// digestFree recycles delivered digest-message buffers back into
+	// emitDigest, making the sustained digest path allocation-free.
+	digestFree [][]byte
 
 	// Hot-path object pools (see pool.go). Single-threaded with the Sim.
 	phvFree []*PHV
@@ -281,10 +286,23 @@ func (sw *Switch) emitDigest(data []byte) {
 		sw.DigestDrops++
 		return
 	}
-	msg := make([]byte, len(data))
-	copy(msg, data)
+	var msg []byte
+	if n := len(sw.digestFree); n > 0 {
+		msg = append(sw.digestFree[n-1][:0], data...)
+		sw.digestFree[n-1] = nil
+		sw.digestFree = sw.digestFree[:n-1]
+	} else {
+		msg = append([]byte(nil), data...)
+	}
 	sw.digestQueue.Push(msg)
 	sw.scheduleDigest()
+}
+
+// recycleDigest returns a delivered message buffer to the freelist once the
+// DigestOut callback has returned (the receiver's retention window is the
+// call itself — see the DigestOut contract).
+func (sw *Switch) recycleDigest(msg []byte) {
+	sw.digestFree = append(sw.digestFree, msg)
 }
 
 // scheduleDigest arms the next channel delivery if one is not in flight.
@@ -313,6 +331,7 @@ func runDigestDrain(a any) {
 	msg := sw.digestQueue.Pop()
 	sw.DigestsSent++
 	sw.DigestOut(msg, sw.sim.Now())
+	sw.recycleDigest(msg)
 	sw.scheduleDigest()
 }
 
@@ -326,5 +345,6 @@ func (sw *Switch) FlushDigests() {
 		if sw.DigestOut != nil {
 			sw.DigestOut(msg, now)
 		}
+		sw.recycleDigest(msg)
 	}
 }

@@ -14,22 +14,27 @@ import (
 // evictionMagic guards against decoding foreign digest messages.
 const evictionMagic = 0x4855 // "HU"
 
-// EncodeEviction serializes one evicted entry.
-func EncodeEviction(queryID int, key []uint64, value uint64) []byte {
-	b := make([]byte, 0, 8+8*len(key)+8)
+// AppendEviction serializes one evicted entry into dst, reusing its capacity
+// — the allocation-free form used by the receiver's pooled digest path.
+func AppendEviction(dst []byte, queryID int, key []uint64, value uint64) []byte {
 	var hdr [8]byte
 	binary.BigEndian.PutUint16(hdr[0:2], evictionMagic)
 	binary.BigEndian.PutUint16(hdr[2:4], uint16(queryID))
 	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(key)))
-	b = append(b, hdr[:6]...)
+	dst = append(dst, hdr[:6]...)
 	var v [8]byte
 	for _, k := range key {
 		binary.BigEndian.PutUint64(v[:], k)
-		b = append(b, v[:]...)
+		dst = append(dst, v[:]...)
 	}
 	binary.BigEndian.PutUint64(v[:], value)
-	b = append(b, v[:]...)
-	return b
+	dst = append(dst, v[:]...)
+	return dst
+}
+
+// EncodeEviction serializes one evicted entry into a fresh buffer.
+func EncodeEviction(queryID int, key []uint64, value uint64) []byte {
+	return AppendEviction(make([]byte, 0, 6+8*len(key)+8), queryID, key, value)
 }
 
 // DecodeEviction parses a message produced by EncodeEviction.

@@ -31,7 +31,7 @@ type QueryState struct {
 	// Push-mode eviction reporting (enabled by EnableDigestEvictions):
 	// encoded digest messages awaiting a packet to carry them, and the
 	// CPU-side merge of decoded messages.
-	pendingDigests [][]byte
+	pendingDigests digestFIFO
 	cpuEvicted     map[string]uint64
 	cpuKeys        map[string][]uint64
 
@@ -45,6 +45,28 @@ type QueryState struct {
 	DelayMaxNs float64
 }
 
+// digestFIFO queues encoded eviction messages with slot reuse: popping
+// advances a head index instead of reslicing, so the backing array is
+// reclaimed (and reused) once drained rather than pinned by a [1:] chain.
+type digestFIFO struct {
+	q    [][]byte
+	head int
+}
+
+func (f *digestFIFO) len() int { return len(f.q) - f.head }
+
+func (f *digestFIFO) push(m []byte) { f.q = append(f.q, m) }
+
+func (f *digestFIFO) pop() []byte {
+	m := f.q[f.head]
+	f.q[f.head] = nil
+	f.head++
+	if f.head == len(f.q) {
+		f.q, f.head = f.q[:0], 0
+	}
+	return m
+}
+
 // Receiver deploys compiled queries onto a switch's pipelines: ingress for
 // received traffic, egress for sent traffic (§5.2's component layout).
 type Receiver struct {
@@ -56,6 +78,34 @@ type Receiver struct {
 	// messages wait on the data plane until the channel has room, or the
 	// CPU drains them at collection time.
 	DigestRoom func() bool
+
+	// digestFree recycles encoded-eviction buffers: a message returns here
+	// once consumed (copied by the ASIC digest channel, or decoded at
+	// collection time) and its storage is reused by the next eviction,
+	// making sustained eviction reporting allocation-free.
+	digestFree [][]byte
+	// lastAttached is the message most recently handed to a packet's
+	// digest slot. It is recycled when the *next* attachment happens — by
+	// then the ASIC has copied it onto the channel — or at Collect.
+	lastAttached []byte
+}
+
+// newEviction encodes an eviction into a recycled buffer when one is free.
+func (r *Receiver) newEviction(queryID int, key []uint64, value uint64) []byte {
+	var buf []byte
+	if n := len(r.digestFree); n > 0 {
+		buf = r.digestFree[n-1][:0]
+		r.digestFree[n-1] = nil
+		r.digestFree = r.digestFree[:n-1]
+	}
+	return AppendEviction(buf, queryID, key, value)
+}
+
+// recycleDigestBuf returns a consumed message buffer to the freelist.
+func (r *Receiver) recycleDigestBuf(b []byte) {
+	if b != nil {
+		r.digestFree = append(r.digestFree, b)
+	}
 }
 
 // NewReceiver builds runtime state for every query in the program,
@@ -106,8 +156,7 @@ func (r *Receiver) EnableDigestEvictions() {
 		st.cpuEvicted = make(map[string]uint64)
 		st.cpuKeys = make(map[string][]uint64)
 		st.Table.OnEvict = func(key []uint64, value uint64) {
-			st.pendingDigests = append(st.pendingDigests,
-				EncodeEviction(st.Plan.ID, key, value))
+			st.pendingDigests.push(r.newEviction(st.Plan.ID, key, value))
 		}
 	}
 }
@@ -135,9 +184,14 @@ func (r *Receiver) attachDigest(p *asic.PHV) {
 		return
 	}
 	for _, st := range r.states {
-		if len(st.pendingDigests) > 0 {
-			p.DigestData = st.pendingDigests[0]
-			st.pendingDigests = st.pendingDigests[1:]
+		if st.pendingDigests.len() > 0 {
+			// The previously attached message has been copied onto the
+			// digest channel by now (one attachment per pipeline pass),
+			// so its buffer is free again.
+			r.recycleDigestBuf(r.lastAttached)
+			msg := st.pendingDigests.pop()
+			r.lastAttached = msg
+			p.DigestData = msg
 			return
 		}
 	}
@@ -342,12 +396,15 @@ func (r *Receiver) Collect() []Report {
 			// At collection time the CPU drains any digests still
 			// queued on the data plane, then folds in everything it
 			// received over the channel.
-			for _, msg := range st.pendingDigests {
+			for st.pendingDigests.len() > 0 {
+				msg := st.pendingDigests.pop()
 				if qid, key, v, err := DecodeEviction(msg); err == nil {
 					r.MergeEviction(qid, key, v)
 				}
+				r.recycleDigestBuf(msg)
 			}
-			st.pendingDigests = nil
+			r.recycleDigestBuf(r.lastAttached)
+			r.lastAttached = nil
 			if len(st.cpuEvicted) > 0 {
 				rep.Results = mergeCPUResults(st, rep.Results)
 			}

@@ -51,7 +51,7 @@ func AblationTemplateAmplification(cfg Config) *Result {
 	})
 
 	// (b) Template-based: one CPU packet, ASIC amplification.
-	sinks, ht, err := htGenerate(throughputSrc(64, "0"), []float64{100}, cfg.Seed,
+	sinks, ht, _, err := htGenerate(cfg, throughputSrc(64, "0"), []float64{100}, cfg.Seed,
 		30*netsim.Microsecond, window, false)
 	if err != nil {
 		return errResult(res, err)

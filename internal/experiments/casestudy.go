@@ -52,17 +52,21 @@ T5 = trigger(Q3)
     .set([seq_no, ack_no], [Q3.ack_no, Q3.seq_no + 1])
 Q5 = query().filter(tcp_flag == SYN+ACK).reduce(func=sum)
 `
-	ht := hypertester.New(hypertester.Config{Ports: []float64{100}, Seed: cfg.Seed})
+	// Tester and server farm each get a logical process: the cable between
+	// them is the partition boundary, so the stateless client side and the
+	// stateful DUT advance concurrently under the parallel engine.
+	p := testbed.NewPartition(cfg.simWorkers())
+	ht := hypertester.New(hypertester.Config{Sim: p.LP("tester"), Ports: []float64{100}, Seed: cfg.Seed})
 	if err := ht.LoadTaskSource("webscale", task); err != nil {
 		return errResult(res, err)
 	}
-	farm := testbed.NewHTTPServerFarm(ht.Sim, "farm", 100)
+	farm := testbed.NewHTTPServerFarm(p.LP("farm"), "farm", 100)
 	farm.ResponsePackets = 5
-	testbed.Connect(ht.Sim, ht.Port(0), farm.Iface, testbed.DefaultCableDelay)
+	p.Connect(ht.Port(0), farm.Iface, testbed.DefaultCableDelay)
 	if err := ht.Start(); err != nil {
 		return errResult(res, err)
 	}
-	ht.RunFor(window)
+	p.RunFor(window)
 
 	secs := window.Seconds()
 	row := func(label, format string, args ...any) {

@@ -12,6 +12,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/hypertester/hypertester/internal/netsim"
 	"github.com/hypertester/hypertester/internal/testbed"
@@ -25,6 +27,59 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// SimWorkers > 1 opts an experiment's testbed into the conservative
+	// parallel discrete-event engine (one logical process per device) and
+	// its CPU-bound sweeps into a same-width worker pool. Results are
+	// bit-identical across any worker count; <= 1 means the sequential
+	// reference engine.
+	SimWorkers int
+}
+
+// simWorkers normalizes the worker budget.
+func (c Config) simWorkers() int {
+	if c.SimWorkers < 1 {
+		return 1
+	}
+	return c.SimWorkers
+}
+
+// seq returns the config with parallelism stripped — for inner measurements
+// that an outer parMap already spreads across the worker budget.
+func (c Config) seq() Config {
+	c.SimWorkers = 1
+	return c
+}
+
+// parMap runs fn(0..n-1) across up to workers goroutines (inline when the
+// budget or n is 1). Each index must write only its own slot of any shared
+// output slice; iteration order is unspecified but slot ownership makes the
+// overall result order-independent.
+func parMap(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Row is one line of a result table.
@@ -87,29 +142,34 @@ func (r *Result) String() string {
 }
 
 // htGenerate runs a HyperTester generation task against per-port sinks and
-// returns them after the measurement window (warm-up excluded).
-func htGenerate(src string, portGbps []float64, seed int64,
-	warmup, window netsim.Duration, record bool) ([]*testbed.Sink, *hypertester.Tester, error) {
+// returns them after the measurement window (warm-up excluded). With
+// cfg.SimWorkers > 1 the topology is partitioned — the tester switch on one
+// logical process, every sink on its own — and runs on the parallel engine;
+// callers that advance virtual time afterwards must do so through the
+// returned Partition (not ht.RunFor, which only knows the tester's clock).
+func htGenerate(cfg Config, src string, portGbps []float64, seed int64,
+	warmup, window netsim.Duration, record bool) ([]*testbed.Sink, *hypertester.Tester, *testbed.Partition, error) {
 
-	ht := hypertester.New(hypertester.Config{Ports: portGbps, Seed: seed})
+	p := testbed.NewPartition(cfg.simWorkers())
+	ht := hypertester.New(hypertester.Config{Sim: p.LP("tester"), Ports: portGbps, Seed: seed})
 	if err := ht.LoadTaskSource("exp", src); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sinks := make([]*testbed.Sink, len(portGbps))
 	for i := range portGbps {
-		sinks[i] = testbed.NewSink(ht.Sim, fmt.Sprintf("sink%d", i), portGbps[i])
+		sinks[i] = testbed.NewSink(p.LP(fmt.Sprintf("sink%d", i)), fmt.Sprintf("sink%d", i), portGbps[i])
 		sinks[i].RecordTimestamps = record
-		testbed.Connect(ht.Sim, ht.Port(i), sinks[i].Iface, 0)
+		p.Connect(ht.Port(i), sinks[i].Iface, 0)
 	}
 	if err := ht.Start(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	ht.RunFor(warmup)
+	p.RunFor(warmup)
 	for _, s := range sinks {
 		s.Reset()
 	}
-	ht.RunFor(window)
-	return sinks, ht, nil
+	p.RunFor(window)
+	return sinks, ht, p, nil
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -22,7 +22,7 @@ T1 = trigger()
 // htRateErrors measures HyperTester inter-departure errors at a target rate.
 func htRateErrors(cfg Config, portGbps float64, size int, pps float64, window netsim.Duration) (stats.RateErrors, float64, error) {
 	interval := 1e9 / pps
-	sinks, _, err := htGenerate(rateSrc(size, interval), []float64{portGbps}, cfg.Seed,
+	sinks, _, _, err := htGenerate(cfg, rateSrc(size, interval), []float64{portGbps}, cfg.Seed,
 		50*netsim.Microsecond, window, true)
 	if err != nil {
 		return stats.RateErrors{}, 0, err
@@ -66,23 +66,37 @@ func Fig11RateControl40G(cfg Config) *Result {
 		{"1Mpps/512B", 512, 1e6},
 		{"1Mpps/1280B", 1280, 1e6},
 	}
-	for _, p := range points {
+	// The points are independent measurements, so the worker budget spreads
+	// across them (each inner testbed stays sequential); every point writes
+	// only its own row slot, keeping output order identical to a
+	// sequential sweep.
+	rows := make([]Row, len(points))
+	errs := make([]error, len(points))
+	parMap(cfg.simWorkers(), len(points), func(i int) {
+		p := points[i]
 		window := windowFor(p.pps, cfg.Quick)
-		he, _, err := htRateErrors(cfg, 40, p.size, p.pps, window)
+		he, _, err := htRateErrors(cfg.seq(), 40, p.size, p.pps, window)
 		if err != nil {
-			return errResult(res, err)
+			errs[i] = err
+			return
 		}
-		me, _ := mgRateErrors(cfg, 40, p.size, p.pps, window)
+		me, _ := mgRateErrors(cfg.seq(), 40, p.size, p.pps, window)
 		ratio := me.MAE / he.MAE
-		res.Rows = append(res.Rows, Row{
+		rows[i] = Row{
 			Label: p.label,
 			Values: []string{
 				f2(he.MAE), f2(he.MAD), f2(he.RMSE),
 				f2(me.MAE), f2(me.MAD), f2(me.RMSE),
 				fmt.Sprintf("%.0fx", ratio),
 			},
-		})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return errResult(res, err)
+		}
 	}
+	res.Rows = append(res.Rows, rows...)
 	res.Notes = append(res.Notes,
 		"paper Fig. 11: every HyperTester error metric is over one order of magnitude below MoonGen's")
 	return res
@@ -101,27 +115,38 @@ func Fig12RateControl100G(cfg Config) *Result {
 	if !cfg.Quick {
 		rates = append(rates, 5e7)
 	}
+	type pt struct {
+		label string
+		size  int
+		pps   float64
+	}
+	var points []pt
 	for _, pps := range rates {
-		he, got, err := htRateErrors(cfg, 100, 64, pps, windowFor(pps, cfg.Quick))
-		if err != nil {
-			return errResult(res, err)
-		}
-		_ = got
-		res.Rows = append(res.Rows, Row{
-			Label:  fmt.Sprintf("%s/64B", ppsLabel(pps)),
-			Values: []string{f2(he.MAE), f2(he.MAD), f2(he.RMSE)},
-		})
+		points = append(points, pt{fmt.Sprintf("%s/64B", ppsLabel(pps)), 64, pps})
 	}
 	for _, size := range []int{256, 512, 1024, 1500} {
-		he, _, err := htRateErrors(cfg, 100, size, 1e6, windowFor(1e6, cfg.Quick))
+		points = append(points, pt{fmt.Sprintf("1Mpps/%dB", size), size, 1e6})
+	}
+	rows := make([]Row, len(points))
+	errs := make([]error, len(points))
+	parMap(cfg.simWorkers(), len(points), func(i int) {
+		p := points[i]
+		he, _, err := htRateErrors(cfg.seq(), 100, p.size, p.pps, windowFor(p.pps, cfg.Quick))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = Row{
+			Label:  p.label,
+			Values: []string{f2(he.MAE), f2(he.MAD), f2(he.RMSE)},
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return errResult(res, err)
 		}
-		res.Rows = append(res.Rows, Row{
-			Label:  fmt.Sprintf("1Mpps/%dB", size),
-			Values: []string{f2(he.MAE), f2(he.MAD), f2(he.RMSE)},
-		})
 	}
+	res.Rows = append(res.Rows, rows...)
 	res.Notes = append(res.Notes,
 		"paper Fig. 12: speed barely affects errors; errors grow with packet size")
 	return res

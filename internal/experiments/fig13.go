@@ -50,7 +50,7 @@ T1 = trigger()
     .set(interval, 100ns)
     .set(port, 0)
 `, d.setSrc)
-		samples, err := collectField(src, cfg.Seed, window, func(s *netproto.Stack) float64 {
+		samples, err := collectField(cfg, src, cfg.Seed, window, func(s *netproto.Stack) float64 {
 			return float64(s.UDP.SrcPort)
 		})
 		if err != nil {
@@ -72,9 +72,12 @@ T1 = trigger()
 }
 
 // collectField runs a generation task and extracts one numeric field per
-// generated packet.
-func collectField(src string, seed int64, window netsim.Duration, extract func(*netproto.Stack) float64) ([]float64, error) {
-	sinks, ht, err := htGenerate(src, []float64{100}, seed, 30*netsim.Microsecond, 0, false)
+// generated packet. The mid-run hook installation means virtual time must
+// advance through the Partition, which drives every logical process — the
+// tester's own clock alone would leave the sink idle under the parallel
+// engine.
+func collectField(cfg Config, src string, seed int64, window netsim.Duration, extract func(*netproto.Stack) float64) ([]float64, error) {
+	sinks, _, p, err := htGenerate(cfg, src, []float64{100}, seed, 30*netsim.Microsecond, 0, false)
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +88,6 @@ func collectField(src string, seed int64, window netsim.Duration, extract func(*
 			samples = append(samples, extract(&stack))
 		}
 	}
-	ht.RunFor(window)
+	p.RunFor(window)
 	return samples, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/hypertester/hypertester/internal/asic"
 	"github.com/hypertester/hypertester/internal/core/compiler"
@@ -31,18 +32,22 @@ func Fig16StatCollection(cfg Config) *Result {
 		sim := netsim.New()
 		sw := asic.New(asic.Config{Name: "sw", Sim: sim, PortGbps: []float64{100}, Seed: cfg.Seed})
 		cpu := switchcpu.New(sim, sw)
+		// The experiment only counts digest bytes, so skip retaining copies
+		// of every message (the pooled digest buffers then recirculate).
+		cpu.RetainDigests = false
 		msg := make([]byte, msgSize)
 		sw.Ingress.Add(asic.ProcessorFunc(func(p *asic.PHV) {
 			p.DigestData = msg
 			p.Drop = true
 		}))
 		raw, _ := netproto.BuildUDP(netproto.UDPSpec{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, FrameLen: 64})
-		// Offer 10K digests/s — well above the channel's drain rate.
-		offer := 100 * netsim.Microsecond
-		for at := netsim.Time(0); at < netsim.Time(window); at = at.Add(offer) {
-			pkt := &netproto.Packet{Data: append([]byte(nil), raw...)}
-			sim.At(at, func() { sw.Port(0).Receive(pkt) })
-		}
+		// Offer 10K digests/s — well above the channel's drain rate. One
+		// self-rescheduling injector replaces a pre-scheduled event (and a
+		// fresh frame copy) per offer: the dropped frames recycle through
+		// the packet pool, so a multi-second window stays allocation-flat.
+		inj := &fig16Injector{sim: sim, port: sw.Port(0), raw: raw,
+			every: 100 * netsim.Microsecond, until: netsim.Time(window)}
+		sim.AtCall(0, runFig16Offer, inj)
 		sim.RunUntil(netsim.Time(window))
 		goodputMbps := float64(cpu.DigestBytes) * 8 / window.Seconds() / 1e6
 		res.Rows = append(res.Rows, Row{
@@ -76,6 +81,26 @@ func Fig16StatCollection(cfg Config) *Result {
 	return res
 }
 
+// fig16Injector offers one digest-bearing frame to the switch per period,
+// rescheduling itself until the window closes.
+type fig16Injector struct {
+	sim   *netsim.Sim
+	port  *asic.Port
+	raw   []byte
+	every netsim.Duration
+	until netsim.Time
+}
+
+func runFig16Offer(a any) {
+	inj := a.(*fig16Injector)
+	pkt := netproto.NewPacket(len(inj.raw))
+	copy(pkt.Data, inj.raw)
+	inj.port.Receive(pkt)
+	if next := inj.sim.Now().Add(inj.every); next < inj.until {
+		inj.sim.AtCall(next, runFig16Offer, inj)
+	}
+}
+
 // Fig17ExactMatch reproduces Fig. 17: the number of exact-key-matching
 // entries needed to remove all false positives, as the flow population and
 // the hashing-array size change, for 16-bit and 32-bit digests. Each point
@@ -102,21 +127,45 @@ func Fig17ExactMatch(cfg Config) *Result {
 			t = 5
 		}
 		for _, arraySize := range arraySizes {
-			var sum16, sum32 float64
+			// Tuples draw sequentially from the one rng stream (so any
+			// worker count sees identical populations) into a two-allocation
+			// arena per trial; the false-positive computations — the
+			// CPU-bound bulk of the experiment — then run on the worker
+			// pool, with in-flight trials bounded so peak memory stays at a
+			// few populations regardless of trial count.
+			type trialRes struct{ e16, e32 float64 }
+			results := make([]trialRes, t)
+			sem := make(chan struct{}, cfg.simWorkers())
+			var wg sync.WaitGroup
 			for trial := 0; trial < t; trial++ {
+				backing := make([]uint64, 3*n)
 				tuples := make([][]uint64, n)
 				for i := range tuples {
 					// Random 5-tuple-like keys (src, dst, ports+proto).
-					tuples[i] = []uint64{
-						rng.Uint64() & 0xffffffff,
-						rng.Uint64() & 0xffffffff,
-						rng.Uint64() & 0xffffffffff,
-					}
+					tup := backing[3*i : 3*i+3 : 3*i+3]
+					tup[0] = rng.Uint64() & 0xffffffff
+					tup[1] = rng.Uint64() & 0xffffffff
+					tup[2] = rng.Uint64() & 0xffffffffff
+					tuples[i] = tup
 				}
-				sum16 += float64(len(compiler.ComputeExactKeys(tuples, arraySize, 16,
-					asic.PolyCRC32, asic.PolyCRC32C, asic.PolyKoopman)))
-				sum32 += float64(len(compiler.ComputeExactKeys(tuples, arraySize, 32,
-					asic.PolyCRC32, asic.PolyCRC32C, asic.PolyKoopman)))
+				sem <- struct{}{}
+				wg.Add(1)
+				go func(trial int, tuples [][]uint64) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					results[trial] = trialRes{
+						e16: float64(len(compiler.ComputeExactKeys(tuples, arraySize, 16,
+							asic.PolyCRC32, asic.PolyCRC32C, asic.PolyKoopman))),
+						e32: float64(len(compiler.ComputeExactKeys(tuples, arraySize, 32,
+							asic.PolyCRC32, asic.PolyCRC32C, asic.PolyKoopman))),
+					}
+				}(trial, tuples)
+			}
+			wg.Wait()
+			var sum16, sum32 float64
+			for _, r := range results {
+				sum16 += r.e16
+				sum32 += r.e32
 			}
 			avg16 := sum16 / float64(t)
 			avg32 := sum32 / float64(t)

@@ -35,7 +35,7 @@ func Fig9SinglePort(cfg Config) *Result {
 	for _, size := range packetSizes {
 		var vals []string
 		for _, gbps := range []float64{100, 40} {
-			sinks, _, err := htGenerate(throughputSrc(size, "0"), []float64{gbps}, cfg.Seed,
+			sinks, _, _, err := htGenerate(cfg, throughputSrc(size, "0"), []float64{gbps}, cfg.Seed,
 				30*netsim.Microsecond, window, false)
 			if err != nil {
 				return errResult(res, err)
@@ -85,7 +85,7 @@ func Fig10MultiPort(cfg Config) *Result {
 				}
 				portList += fmt.Sprintf("%d", i)
 			}
-			sinks, _, err := htGenerate(throughputSrc(64, "["+portList+"]"), ports, cfg.Seed,
+			sinks, _, _, err := htGenerate(cfg, throughputSrc(64, "["+portList+"]"), ports, cfg.Seed,
 				30*netsim.Microsecond, window, false)
 			if err != nil {
 				return errResult(res, err)
@@ -96,18 +96,20 @@ func Fig10MultiPort(cfg Config) *Result {
 			}
 			htVal = f1(total)
 		}
-		// MoonGen: n cores, each driving its own 10G port.
-		sim := netsim.New()
+		// MoonGen: n cores, each driving its own 10G port. The pairs are
+		// disjoint, so each generator and sink gets its own logical
+		// process when the parallel engine is enabled.
+		p := testbed.NewPartition(cfg.simWorkers())
 		total := 0.0
 		sinks := make([]*testbed.Sink, n)
 		for i := 0; i < n; i++ {
-			g := moongen.New(sim, moongen.Config{
+			g := moongen.New(p.LP(fmt.Sprintf("mg%d", i)), moongen.Config{
 				Name: fmt.Sprintf("mg%d", i), PortGbps: 10, FrameLen: 64, Seed: cfg.Seed + int64(i)})
-			sinks[i] = testbed.NewSink(sim, "sink", 10)
-			testbed.Connect(sim, g.Iface, sinks[i].Iface, 0)
+			sinks[i] = testbed.NewSink(p.LP(fmt.Sprintf("mgsink%d", i)), "sink", 10)
+			p.Connect(g.Iface, sinks[i].Iface, 0)
 			g.Start(netsim.Time(window))
 		}
-		sim.RunUntil(netsim.Time(window + netsim.Millisecond))
+		p.RunUntil(netsim.Time(window + netsim.Millisecond))
 		for _, s := range sinks {
 			total += s.ThroughputGbps()
 		}

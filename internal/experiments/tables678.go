@@ -144,7 +144,7 @@ func Table8SynFlood(cfg Config) *Result {
 	if cfg.Quick {
 		window = 50 * netsim.Microsecond
 	}
-	sinks, _, err := htGenerate(TaskSynFlood, []float64{100, 100, 100, 100}, cfg.Seed,
+	sinks, _, _, err := htGenerate(cfg, TaskSynFlood, []float64{100, 100, 100, 100}, cfg.Seed,
 		30*netsim.Microsecond, window, false)
 	if err != nil {
 		return errResult(res, err)

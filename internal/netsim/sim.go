@@ -89,6 +89,10 @@ func (t Time) String() string { return Duration(t).String() }
 type Event struct {
 	at  Time
 	seq uint64
+	// schedAt is the virtual time the event was scheduled at (the clock of
+	// the scheduling Sim for local events; the sender-side completion time
+	// for cross-LP messages). It is an ordering key only — see eventBefore.
+	schedAt Time
 	// Exactly one of fn / fn2 is set. fn2+arg is the allocation-free form
 	// used by AtCall; fn is the closure form used by At.
 	fn   func()
@@ -134,6 +138,10 @@ type Sim struct {
 	levels   [WheelLevels][WheelBuckets]*Event
 	occ      [WheelLevels][occWords]uint64
 	pending  int
+
+	// lp binds this Sim to a logical process of a parallel Engine; nil for
+	// a standalone (sequential) simulation.
+	lp *lpState
 }
 
 // New returns an empty simulation positioned at time zero.
@@ -159,7 +167,7 @@ func (s *Sim) alloc(at Time) *Event {
 	} else {
 		e = &Event{}
 	}
-	e.at, e.seq, e.where = at, s.seq, whereNone
+	e.at, e.seq, e.schedAt, e.where = at, s.seq, s.now, whereNone
 	return e
 }
 

@@ -76,8 +76,23 @@ type eventHeap struct {
 	q   []*Event
 }
 
+// eventBefore orders events by (due time, schedule time, schedule sequence).
+// For a single sequential Sim the schedule-time component is redundant —
+// schedule sequence numbers already increase monotonically with the clock, so
+// (at, seq) and (at, schedAt, seq) induce the same total order. It exists for
+// the parallel engine (engine.go): a cross-LP message is filed into the
+// destination wheel later (in wall-clock terms) than the sequential engine
+// would have scheduled it, but it carries its original schedule timestamp, so
+// comparing schedAt before seq slots it exactly where the sequential run
+// would have — the heart of the bit-identical-merge guarantee.
 func eventBefore(a, b *Event) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	return a.seq < b.seq
 }
 
 func (h *eventHeap) len() int { return len(h.q) }

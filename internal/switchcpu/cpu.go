@@ -30,8 +30,15 @@ type CPU struct {
 	sw  *asic.Switch
 
 	// OnDigest, when set, runs for every digest message after the PCIe
-	// channel delay. Messages are also retained in Digests.
+	// channel delay. The msg slice is pooled by the ASIC's digest channel
+	// and valid only during the call; retain a copy if needed. Messages are
+	// also retained in Digests while RetainDigests is set.
 	OnDigest func(msg []byte, at netsim.Time)
+
+	// RetainDigests (default true) keeps a copy of every received message
+	// in Digests. Goodput-only measurements (Fig. 16a) switch it off to
+	// keep the digest path allocation-free.
+	RetainDigests bool
 
 	// Digests accumulates received push-mode messages.
 	Digests [][]byte
@@ -46,9 +53,11 @@ type CPU struct {
 
 // New attaches a CPU to a switch, wiring the digest channel.
 func New(sim *netsim.Sim, sw *asic.Switch) *CPU {
-	c := &CPU{sim: sim, sw: sw}
+	c := &CPU{sim: sim, sw: sw, RetainDigests: true}
 	sw.DigestOut = func(data []byte, at netsim.Time) {
-		c.Digests = append(c.Digests, data)
+		if c.RetainDigests {
+			c.Digests = append(c.Digests, append([]byte(nil), data...))
+		}
 		c.DigestBytes += uint64(len(data))
 		if c.OnDigest != nil {
 			c.OnDigest(data, at)

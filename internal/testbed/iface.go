@@ -9,6 +9,7 @@ package testbed
 import (
 	"sync"
 
+	"github.com/hypertester/hypertester/internal/asic"
 	"github.com/hypertester/hypertester/internal/netproto"
 	"github.com/hypertester/hypertester/internal/netsim"
 )
@@ -21,6 +22,12 @@ type linkJob struct {
 	dst   Attach
 	iface *Iface
 	pkt   *netproto.Packet
+	// Cross-LP delivery state (partition.go): the destination switch port
+	// (nil for interface destinations), the wire-arrival timestamp, and a
+	// byte count for TX-counter credits that outlive the packet handoff.
+	port    *asic.Port
+	arrival netsim.Time
+	n       int
 }
 
 var linkJobPool = sync.Pool{New: func() any { return new(linkJob) }}
@@ -50,6 +57,33 @@ func runIfaceTxJob(a any) {
 	}
 }
 
+// runIfaceTxCountJob credits TX counters at serialization end for frames
+// already staged to a remote LP (see Iface.Send's remote path).
+func runIfaceTxCountJob(a any) {
+	j := a.(*linkJob)
+	i, n := j.iface, j.n
+	*j = linkJob{}
+	linkJobPool.Put(j)
+	i.TxPackets++
+	i.TxBytes += uint64(n)
+}
+
+// runRemoteArrival completes a cross-LP cable hop on the destination LP:
+// deferred port ingress for switch-port destinations (the frame arrived
+// DeliverLookahead earlier — see asic.Port.DeliverDeferred), plain delivery
+// for interface destinations.
+func runRemoteArrival(a any) {
+	j := a.(*linkJob)
+	port, dst, pkt, arrival := j.port, j.dst, j.pkt, j.arrival
+	*j = linkJob{}
+	linkJobPool.Put(j)
+	if port != nil {
+		port.DeliverDeferred(pkt, arrival)
+	} else {
+		dst.Deliver(pkt)
+	}
+}
+
 // Attach is anything a cable can plug into: a switch port or a device
 // interface. SetPeer installs the far end; Deliver accepts a frame arriving
 // off the wire now.
@@ -68,6 +102,11 @@ type Iface struct {
 	peer func(pkt *netproto.Packet, at netsim.Time)
 	recv func(pkt *netproto.Packet)
 
+	// remote, when set, diverts outgoing frames to a cross-LP channel of
+	// the parallel engine at Send time (with the computed serialization-end
+	// timestamp), mirroring asic.Port's remote hook.
+	remote func(pkt *netproto.Packet, end netsim.Time)
+
 	txBusyUntil netsim.Time
 
 	// Counters.
@@ -82,6 +121,13 @@ func NewIface(sim *netsim.Sim, name string, gbps float64) *Iface {
 
 // SetPeer implements Attach.
 func (i *Iface) SetPeer(fn func(pkt *netproto.Packet, at netsim.Time)) { i.peer = fn }
+
+// SetRemote diverts this interface's transmissions to a cross-LP staging
+// hook. Used by Partition for partitioned links.
+func (i *Iface) SetRemote(fn func(pkt *netproto.Packet, end netsim.Time)) { i.remote = fn }
+
+// Sim returns the simulation clock this interface is bound to.
+func (i *Iface) Sim() *netsim.Sim { return i.sim }
 
 // OnReceive installs the device's frame handler.
 func (i *Iface) OnReceive(fn func(pkt *netproto.Packet)) { i.recv = fn }
@@ -106,6 +152,18 @@ func (i *Iface) Send(pkt *netproto.Packet) {
 	}
 	end := start.Add(netsim.Ns(netproto.WireTimeNs(pkt.Len(), i.Gbps)))
 	i.txBusyUntil = end
+	if i.remote != nil {
+		// Cross-LP path: stamp the egress timestamp now (its value is the
+		// same one runIfaceTxJob would write at end), hand the frame to the
+		// staging engine, and credit TX counters with a local event at
+		// serialization end, exactly when the sequential engine would.
+		j := linkJobPool.Get().(*linkJob)
+		j.iface, j.n = i, pkt.Len()
+		i.sim.AtCall(end, runIfaceTxCountJob, j)
+		pkt.Meta.EgressPs = int64(end)
+		i.remote(pkt, end)
+		return
+	}
 	j := linkJobPool.Get().(*linkJob)
 	j.iface, j.pkt = i, pkt
 	i.sim.AtCall(end, runIfaceTxJob, j)
