@@ -31,6 +31,14 @@ type PHV struct {
 	// digest engine at end of ingress (generate_digest).
 	DigestData []byte
 
+	// DigestFree, when non-nil, is the consumption callback for DigestData:
+	// the switch invokes it exactly once with the attached buffer, either
+	// after the digest engine has copied it onto the channel or when the
+	// PHV is released with the attachment unconsumed. Producers that pool
+	// their digest buffers set it alongside DigestData and recycle in the
+	// callback — never by inferring consumption from later pipeline passes.
+	DigestFree func([]byte)
+
 	// Dirty records that a header field changed so the deparser knows to
 	// re-serialize headers and fix checksums.
 	Dirty bool
@@ -61,6 +69,7 @@ func (p *PHV) init(pkt *netproto.Packet) {
 	p.Drop = false
 	p.Recirculate = false
 	p.DigestData = nil
+	p.DigestFree = nil
 	p.Dirty = false
 	p.Scratch = [8]uint64{}
 	// The parser stops at unknown layers without failing the packet.

@@ -32,11 +32,17 @@ func (sw *Switch) acquirePHV(pkt *netproto.Packet) *PHV {
 }
 
 // releasePHV recycles a PHV after its pipeline pass. The caller must not
-// touch the PHV afterwards.
+// touch the PHV afterwards. An unconsumed digest attachment (a path that
+// released the PHV without reaching takeDigest) is returned to its producer
+// here so pooled buffers are never left dangling.
 func (sw *Switch) releasePHV(p *PHV) {
+	if p.DigestData != nil && p.DigestFree != nil {
+		p.DigestFree(p.DigestData)
+	}
 	p.Pkt = nil
 	p.Meta = netproto.Meta{}
 	p.DigestData = nil
+	p.DigestFree = nil
 	sw.phvFree = append(sw.phvFree, p)
 }
 

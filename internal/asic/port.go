@@ -158,17 +158,26 @@ func (pt *Port) DeliverLookahead() netsim.Duration {
 	return netsim.Duration(IngressLatencyNs) * netsim.Nanosecond
 }
 
+// CreditRX credits the port's RX counters for one received frame of the
+// given length. Receive does this inline at wire arrival; the partitioned
+// cross-LP path calls it separately (testbed's remote-arrival handler, or
+// the engine's boundary flush when a RunUntil deadline lands between a
+// frame's arrival and its deferred pipeline entry) so RX counters sampled
+// at any run boundary match the sequential engine bit for bit.
+func (pt *Port) CreditRX(frameLen int) {
+	pt.RxPackets++
+	pt.RxBytes += uint64(frameLen)
+}
+
 // DeliverDeferred is the cross-LP delivery entry point: it performs arrival
 // bookkeeping (with the original arrival timestamp) and enters the ingress
 // pipeline directly. The caller must invoke it on the owning LP's clock at
 // arrival + DeliverLookahead() — the instant Receive's deferred ingress
-// event would have run. RX counters are credited here, i.e. one ingress
-// latency later than the sequential engine credits them; register state,
-// digests and every downstream timestamp are unaffected (the ingress pass
-// itself happens at the same instant in both engines).
+// event would have run — and must credit RX counters itself via CreditRX,
+// which the sequential engine makes observable at the arrival instant.
+// Register state, digests and every downstream timestamp are unaffected
+// (the ingress pass itself happens at the same instant in both engines).
 func (pt *Port) DeliverDeferred(pkt *netproto.Packet, arrival netsim.Time) {
-	pt.RxPackets++
-	pt.RxBytes += uint64(pkt.Len())
 	pkt.Meta.IngressPs = int64(arrival)
 	pkt.Meta.InPort = pt.ID
 	pt.sw.ingress(pkt)

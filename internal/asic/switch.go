@@ -159,10 +159,7 @@ func (sw *Switch) ingress(pkt *netproto.Packet) {
 	phv := sw.acquirePHV(pkt)
 	sw.Ingress.Run(phv)
 	pkt.Meta = phv.Meta // metadata edits travel with the packet
-	if phv.DigestData != nil {
-		sw.emitDigest(phv.DigestData)
-		phv.DigestData = nil
-	}
+	sw.takeDigest(phv)
 	if phv.Drop {
 		sw.PipelineDrops++
 		sw.releasePHV(phv)
@@ -250,10 +247,7 @@ func (sw *Switch) runEgress(pkt *netproto.Packet, port *Port) {
 	phv.EgressPort = port.ID
 	sw.Egress.Run(phv)
 	pkt.Meta = phv.Meta
-	if phv.DigestData != nil {
-		sw.emitDigest(phv.DigestData)
-		phv.DigestData = nil
-	}
+	sw.takeDigest(phv)
 	if phv.Drop {
 		sw.PipelineDrops++
 		sw.releasePHV(phv)
@@ -275,6 +269,23 @@ func (sw *Switch) runEgress(pkt *netproto.Packet, port *Port) {
 // DigestQueueLen reports messages currently queued on the digest channel
 // (the pipeline-visible backpressure signal a learn filter provides).
 func (sw *Switch) DigestQueueLen() int { return sw.digestQueue.Len() }
+
+// takeDigest consumes a PHV's digest attachment at end of pipeline pass:
+// the message is copied onto the digest channel, then the producer's buffer
+// is handed back through its DigestFree callback. This is the one point a
+// pooled attachment buffer is provably done with — producers must not infer
+// consumption from later pipeline activity.
+func (sw *Switch) takeDigest(phv *PHV) {
+	if phv.DigestData == nil {
+		return
+	}
+	sw.emitDigest(phv.DigestData)
+	if phv.DigestFree != nil {
+		phv.DigestFree(phv.DigestData)
+	}
+	phv.DigestData = nil
+	phv.DigestFree = nil
+}
 
 // emitDigest queues a generate_digest message on the PCIe channel towards
 // the switch CPU. The channel is message-rate bound; overflow drops.

@@ -84,10 +84,12 @@ type Receiver struct {
 	// collection time) and its storage is reused by the next eviction,
 	// making sustained eviction reporting allocation-free.
 	digestFree [][]byte
-	// lastAttached is the message most recently handed to a packet's
-	// digest slot. It is recycled when the *next* attachment happens — by
-	// then the ASIC has copied it onto the channel — or at Collect.
-	lastAttached []byte
+	// recycleFn is recycleDigestBuf bound once at construction, installed
+	// as PHV.DigestFree on every attachment so the ASIC hands the buffer
+	// back at the moment it is provably consumed (copied onto the digest
+	// channel, or the PHV released unconsumed) — a per-packet method-value
+	// allocation would break the zero-alloc digest path.
+	recycleFn func([]byte)
 }
 
 // newEviction encodes an eviction into a recycled buffer when one is free.
@@ -112,6 +114,7 @@ func (r *Receiver) recycleDigestBuf(b []byte) {
 // including the trigger FIFOs for stateless connections.
 func NewReceiver(prog *compiler.Program) *Receiver {
 	r := &Receiver{prog: prog}
+	r.recycleFn = r.recycleDigestBuf
 	for _, plan := range prog.Queries {
 		st := &QueryState{Plan: plan}
 		if plan.Kind == ntapi.KindReduce || plan.Kind == ntapi.KindDistinct {
@@ -185,13 +188,10 @@ func (r *Receiver) attachDigest(p *asic.PHV) {
 	}
 	for _, st := range r.states {
 		if st.pendingDigests.len() > 0 {
-			// The previously attached message has been copied onto the
-			// digest channel by now (one attachment per pipeline pass),
-			// so its buffer is free again.
-			r.recycleDigestBuf(r.lastAttached)
-			msg := st.pendingDigests.pop()
-			r.lastAttached = msg
-			p.DigestData = msg
+			// The buffer comes back through DigestFree when the ASIC has
+			// copied it onto the channel (or dropped the PHV unconsumed).
+			p.DigestData = st.pendingDigests.pop()
+			p.DigestFree = r.recycleFn
 			return
 		}
 	}
@@ -403,8 +403,6 @@ func (r *Receiver) Collect() []Report {
 				}
 				r.recycleDigestBuf(msg)
 			}
-			r.recycleDigestBuf(r.lastAttached)
-			r.lastAttached = nil
 			if len(st.cpuEvicted) > 0 {
 				rep.Results = mergeCPUResults(st, rep.Results)
 			}

@@ -1,6 +1,7 @@
 package htpr
 
 import (
+	"bytes"
 	"testing"
 
 	"github.com/hypertester/hypertester/internal/asic"
@@ -208,5 +209,59 @@ func TestSweepIdleThenContinueCounting(t *testing.T) {
 		if r.Key[0] == 5 && r.Value != 3 {
 			t.Fatalf("key 5 total %d, want 3 (1 evicted + 2 fresh)", r.Value)
 		}
+	}
+}
+
+// TestDigestBufferLifecycle pins the pooled eviction-buffer contract: a
+// buffer handed to a packet's digest slot stays live — untouched by later
+// evictions — until the ASIC's DigestFree consumption callback returns it,
+// and only then is its storage reused. (The previous scheme recycled the
+// buffer at the *next* attachment, corrupting a message whose emission had
+// not happened yet.)
+func TestDigestBufferLifecycle(t *testing.T) {
+	prog := compileTask(t, `
+T1 = trigger().set([dip, proto], [9.9.9.9, tcp]).set(sport, range(1, 1024, 1)).set(port, 0)
+Q1 = query().reduce(func=count, keys={ipv4.sip})
+`)
+	r := NewReceiver(prog)
+	r.EnableDigestEvictions()
+	st := r.State(1)
+	evict := func(k uint64) { st.Table.OnEvict([]uint64{k}, 1) }
+
+	evict(11)
+	evict(22)
+	p1 := tcpPHV(t, 2, 80, netproto.TCPSyn, 0)
+	r.attachDigest(p1)
+	if p1.DigestData == nil || p1.DigestFree == nil {
+		t.Fatal("attachDigest did not install buffer and consumption callback")
+	}
+	msg1 := append([]byte(nil), p1.DigestData...)
+
+	// A second attachment while the first is still in flight must not
+	// recycle the first buffer.
+	p2 := tcpPHV(t, 3, 80, netproto.TCPSyn, 0)
+	r.attachDigest(p2)
+	if n := len(r.digestFree); n != 0 {
+		t.Fatalf("free list holds %d buffers while both attachments are in flight", n)
+	}
+	// A fresh eviction must not overwrite the live attachment either.
+	evict(33)
+	if !bytes.Equal(p1.DigestData, msg1) {
+		t.Fatal("eviction encoded into a buffer still attached to a packet")
+	}
+
+	// Consumption (what asic.Switch.takeDigest does after copying the
+	// message onto the digest channel) returns the buffer for reuse.
+	buf := p1.DigestData
+	p1.DigestFree(p1.DigestData)
+	p1.DigestData, p1.DigestFree = nil, nil
+	if n := len(r.digestFree); n != 1 {
+		t.Fatalf("free list holds %d buffers after consumption, want 1", n)
+	}
+	evict(44)
+	st.pendingDigests.pop() // 33's message
+	m44 := st.pendingDigests.pop()
+	if len(m44) == 0 || &m44[0] != &buf[0] {
+		t.Fatal("consumed buffer storage was not reused by the next eviction")
 	}
 }

@@ -66,6 +66,16 @@ type remoteMsg struct {
 	schedAt Time // the sequential engine's schedule time, for merge order
 	fn      func(any)
 	arg     any
+	// pre, when non-nil, is an early side effect the sequential engine
+	// makes observable at preAt, before the event itself runs at `at`
+	// (e.g. an RX-counter credit at wire arrival, one ingress latency
+	// ahead of pipeline entry). If a RunUntil boundary lands in
+	// [preAt, at), the engine runs pre(arg) at the boundary — exactly
+	// once — so counters sampled there match the sequential run. When no
+	// boundary intervenes, pre never fires and fn must perform the side
+	// effect itself (see Sim.PostRemotePre).
+	pre   func(any)
+	preAt Time
 }
 
 // lpState is the engine-side state of one logical process.
@@ -117,6 +127,10 @@ type Engine struct {
 	sealed  bool
 
 	clock Time
+	// deadline is the active RunUntil bound; fileInbox retains messages
+	// beyond it so their boundary side effects (remoteMsg.pre) stay
+	// reachable until the run that executes them.
+	deadline Time
 }
 
 // NewEngine builds an engine whose epochs run on up to workers goroutines.
@@ -208,6 +222,24 @@ func (e *Engine) seal() {
 // time must respect the registered channel lookahead — violations panic, as
 // they would silently corrupt the conservative synchronization invariant.
 func (s *Sim) PostRemote(dst *Sim, at, schedAt Time, fn func(any), arg any) {
+	s.postRemote(dst, at, schedAt, fn, arg, nil, 0)
+}
+
+// PostRemotePre is PostRemote with an early boundary side effect: the
+// sequential engine makes some part of the event observable at preAt < at
+// (e.g. crediting a port's RX counters at wire arrival, one ingress latency
+// before pipeline entry). If a RunUntil deadline lands in [preAt, at), the
+// engine invokes pre(arg) at that boundary — at most once per message — so
+// state sampled at the boundary matches the sequential run bit for bit.
+// When the message instead executes normally, pre is never called: fn must
+// detect (via arg) whether the side effect already ran and apply it
+// idempotently. pre runs on the coordinator goroutine while all LP workers
+// are quiescent, so it may touch the destination LP's state.
+func (s *Sim) PostRemotePre(dst *Sim, at, schedAt, preAt Time, pre, fn func(any), arg any) {
+	s.postRemote(dst, at, schedAt, fn, arg, pre, preAt)
+}
+
+func (s *Sim) postRemote(dst *Sim, at, schedAt Time, fn func(any), arg any, pre func(any), preAt Time) {
 	src := s.lp
 	if src == nil || dst.lp == nil || src.eng != dst.lp.eng {
 		panic("netsim: PostRemote requires src and dst LPs of one engine")
@@ -227,19 +259,34 @@ func (s *Sim) PostRemote(dst *Sim, at, schedAt Time, fn func(any), arg any) {
 	if schedAt < s.now {
 		schedAt = s.now
 	}
-	src.outbox[dst.lp.rank] = append(src.outbox[dst.lp.rank], remoteMsg{at: at, schedAt: schedAt, fn: fn, arg: arg})
+	if pre != nil {
+		if preAt > at {
+			preAt = at
+		}
+		if preAt < s.now {
+			preAt = s.now
+		}
+	}
+	src.outbox[dst.lp.rank] = append(src.outbox[dst.lp.rank],
+		remoteMsg{at: at, schedAt: schedAt, fn: fn, arg: arg, pre: pre, preAt: preAt})
 	src.staged++
 }
 
-// fileInbox files routed messages into the wheel in deterministic merge
-// order, then clears the inbox for reuse.
+// fileInbox files routed messages due within the active deadline into the
+// wheel in deterministic merge order. Messages beyond the deadline stay in
+// the inbox: they are folded into nextAt at every run boundary (so a later
+// RunUntil picks them up) and keeping them as remoteMsgs preserves their
+// boundary side effects (pre) until the run that executes them.
 func (lp *lpState) fileInbox() {
 	ms := lp.inbox
 	if len(ms) == 0 {
 		return
 	}
 	// Stable sort by (at, schedAt): staging order — per-source FIFO, sources
-	// in rank order — breaks the remaining ties deterministically.
+	// in rank order — breaks the remaining ties deterministically. Retained
+	// messages keep their sorted (hence staging-relative) order, so
+	// re-sorting them alongside later arrivals reproduces the order a
+	// single-shot filing would give.
 	if len(ms) > 1 {
 		sort.SliceStable(ms, func(i, j int) bool {
 			if ms[i].at != ms[j].at {
@@ -249,15 +296,25 @@ func (lp *lpState) fileInbox() {
 		})
 	}
 	s := lp.sim
+	deadline := lp.eng.deadline
+	keep := ms[:0]
 	for i := range ms {
 		m := &ms[i]
+		if m.at > deadline {
+			keep = append(keep, *m)
+			continue
+		}
 		ev := s.alloc(m.at) // panics if at < now: a lookahead violation
 		ev.schedAt = m.schedAt
 		ev.fn2, ev.arg = m.fn, m.arg
 		s.schedule(ev)
-		m.fn, m.arg = nil, nil
 	}
-	lp.inbox = ms[:0]
+	// Clear vacated tail slots so retired callback references can be
+	// collected.
+	for i := len(keep); i < len(ms); i++ {
+		ms[i] = remoteMsg{}
+	}
+	lp.inbox = keep
 }
 
 // runEpoch files the inbox and executes events strictly before the horizon,
@@ -286,14 +343,58 @@ func (lp *lpState) refreshNextAt() {
 	}
 }
 
+// route drains every LP's outboxes into the destination inboxes, sources in
+// rank order (the deterministic part of the sequence stamp).
+func (e *Engine) route() {
+	for _, src := range e.lps {
+		if src.staged == 0 {
+			continue
+		}
+		for d := range src.outbox {
+			ms := src.outbox[d]
+			if len(ms) == 0 {
+				continue
+			}
+			dst := e.lps[d]
+			dst.inbox = append(dst.inbox, ms...)
+			for i := range ms {
+				ms[i] = remoteMsg{}
+			}
+			src.outbox[d] = ms[:0]
+		}
+		src.staged = 0
+	}
+}
+
+// foldInbox folds pending inbox message times into each LP's nextAt, so the
+// LBTS and per-LP horizons account for messages not yet filed into a wheel.
+func (e *Engine) foldInbox() {
+	for _, lp := range e.lps {
+		for i := range lp.inbox {
+			if lp.inbox[i].at < lp.nextAt {
+				lp.nextAt = lp.inbox[i].at
+			}
+		}
+	}
+}
+
 // RunUntil executes all events with timestamps <= deadline across every LP,
 // then advances every LP clock to the deadline — the parallel counterpart of
 // Sim.RunUntil, with bit-identical results.
 func (e *Engine) RunUntil(deadline Time) {
 	e.seal()
+	e.deadline = deadline
+	// Work can be pending from before this run: outboxes staged by setup
+	// code outside any epoch, and inbox messages carried past the previous
+	// run's deadline. Route and fold them into nextAt before computing the
+	// first LBTS — otherwise a run whose wheels are quiet would return
+	// immediately and advance every clock past the pending messages,
+	// silently dropping them.
+	e.route()
 	for _, lp := range e.lps {
 		lp.refreshNextAt()
 	}
+	e.foldInbox()
 
 	work := make(chan *lpState, len(e.lps))
 	var wg sync.WaitGroup
@@ -346,7 +447,9 @@ func (e *Engine) RunUntil(deadline Time) {
 		}
 
 		// Per-LP horizons (exclusive bounds), capped at deadline+1 so
-		// events exactly at the deadline still execute this run.
+		// events exactly at the deadline still execute this run. The cap
+		// saturates at MaxTime: deadline+1 would overflow to a negative
+		// horizon and starve every LP.
 		for _, lp := range e.lps {
 			h := MaxTime
 			for _, in := range e.inEdges[lp.rank] {
@@ -356,11 +459,14 @@ func (e *Engine) RunUntil(deadline Time) {
 					}
 				}
 			}
-			if h > deadline+1 {
+			if deadline < MaxTime && h > deadline+1 {
 				h = deadline + 1
 			}
 			lp.horizon = h
-			lp.runnable = len(lp.inbox) > 0 || lp.nextAt < h
+			// nextAt folds pending inbox messages, so it alone decides
+			// runnability; inboxes whose earliest message sits at or past
+			// the horizon can wait for a later epoch to be filed.
+			lp.runnable = lp.nextAt < h
 		}
 
 		// Run the epoch: inline when a single LP has work (the common
@@ -385,32 +491,23 @@ func (e *Engine) RunUntil(deadline Time) {
 			wg.Wait()
 		}
 
-		// Route: drain outboxes into destination inboxes, sources in rank
-		// order (the deterministic part of the sequence stamp), and fold
-		// incoming message times into nextAt.
-		for _, src := range e.lps {
-			if src.staged == 0 {
-				continue
-			}
-			for d := range src.outbox {
-				ms := src.outbox[d]
-				if len(ms) == 0 {
-					continue
-				}
-				dst := e.lps[d]
-				dst.inbox = append(dst.inbox, ms...)
-				for i := range ms {
-					ms[i].fn, ms[i].arg = nil, nil
-				}
-				src.outbox[d] = ms[:0]
-			}
-			src.staged = 0
-		}
-		for _, lp := range e.lps {
-			for i := range lp.inbox {
-				if lp.inbox[i].at < lp.nextAt {
-					lp.nextAt = lp.inbox[i].at
-				}
+		// Route staged sends and fold the arrivals into nextAt.
+		e.route()
+		e.foldInbox()
+	}
+
+	// Boundary flush: messages still pending beyond the deadline may carry
+	// an early side effect the sequential engine already made observable
+	// (remoteMsg.pre at preAt <= deadline < at). Run those now, once, so
+	// state sampled at this boundary is bit-identical to the sequential
+	// run. All workers are quiescent here; LP rank and staging order make
+	// the flush order deterministic.
+	for _, lp := range e.lps {
+		for i := range lp.inbox {
+			m := &lp.inbox[i]
+			if m.pre != nil && m.preAt <= deadline {
+				m.pre(m.arg)
+				m.pre = nil
 			}
 		}
 	}

@@ -246,6 +246,123 @@ func TestEngineRunUntilComposes(t *testing.T) {
 	}
 }
 
+// TestEngineCrossRunBoundaryMessage pins the REVIEW repro: a cross-LP
+// message staged beyond one RunUntil's deadline must survive into — and
+// execute during — a later RunUntil, even when the intervening runs find
+// every wheel empty (the warmup+window double-RunFor composition the
+// experiment driver uses).
+func TestEngineCrossRunBoundaryMessage(t *testing.T) {
+	eng := NewEngine(2)
+	a := eng.NewLP("a")
+	b := eng.NewLP("b")
+	eng.Channel(a, b, 50*Nanosecond)
+	fired := false
+	var at Time
+	a.At(Time(100*Nanosecond), func() {
+		a.PostRemote(b, Time(200*Nanosecond), a.Now(), func(any) {
+			fired, at = true, b.Now()
+		}, nil)
+	})
+	eng.RunUntil(Time(150 * Nanosecond))
+	if fired {
+		t.Fatal("message executed before its due time")
+	}
+	// A second run still short of the due time must neither run nor drop it.
+	eng.RunUntil(Time(170 * Nanosecond))
+	if fired {
+		t.Fatal("message executed before its due time")
+	}
+	eng.RunUntil(Time(300 * Nanosecond))
+	if !fired {
+		t.Fatal("message staged across RunUntil boundaries was dropped")
+	}
+	if at != Time(200*Nanosecond) {
+		t.Fatalf("message executed at %v, want 200ns", at)
+	}
+}
+
+// A PostRemote issued between runs (outside any epoch) sits in the source
+// outbox; the next RunUntil must route it even if every wheel is quiet.
+func TestEnginePostBetweenRuns(t *testing.T) {
+	eng := NewEngine(2)
+	a := eng.NewLP("a")
+	b := eng.NewLP("b")
+	eng.Channel(a, b, 50*Nanosecond)
+	eng.RunUntil(Time(100 * Nanosecond)) // seals and idles
+	fired := false
+	a.PostRemote(b, Time(400*Nanosecond), a.Now(), func(any) { fired = true }, nil)
+	eng.RunUntil(Time(500 * Nanosecond))
+	if !fired {
+		t.Fatal("message posted between runs was dropped")
+	}
+}
+
+// RunUntil(MaxTime) must terminate: the deadline+1 horizon cap would
+// overflow to a negative horizon and starve every LP forever.
+func TestEngineRunUntilMaxTime(t *testing.T) {
+	eng := NewEngine(2)
+	a := eng.NewLP("a")
+	b := eng.NewLP("b")
+	eng.Channel(a, b, 50*Nanosecond)
+	fired := false
+	a.At(Time(100*Nanosecond), func() {
+		a.PostRemote(b, Time(200*Nanosecond), a.Now(), func(any) { fired = true }, nil)
+	})
+	eng.RunUntil(MaxTime)
+	if !fired {
+		t.Fatal("event not executed by RunUntil(MaxTime)")
+	}
+	if a.Now() != MaxTime || b.Now() != MaxTime {
+		t.Fatalf("clocks = %v, %v; want MaxTime", a.Now(), b.Now())
+	}
+}
+
+// PostRemotePre semantics: the early side effect runs exactly once, and only
+// when a run boundary lands in [preAt, at); a message that executes normally
+// never sees its pre hook fire.
+func TestEnginePostRemotePre(t *testing.T) {
+	build := func() (*Engine, *Sim, *Sim) {
+		eng := NewEngine(2)
+		a := eng.NewLP("a")
+		b := eng.NewLP("b")
+		eng.Channel(a, b, 50*Nanosecond)
+		return eng, a, b
+	}
+	post := func(a, b *Sim, preRuns, mainRuns *int) {
+		a.At(Time(100*Nanosecond), func() {
+			a.PostRemotePre(b, Time(300*Nanosecond), Time(200*Nanosecond), Time(200*Nanosecond),
+				func(any) { *preRuns++ }, func(any) { *mainRuns++ }, nil)
+		})
+	}
+
+	// Boundary inside [preAt, at): flush once, then execute in a later run.
+	eng, a, b := build()
+	var preRuns, mainRuns int
+	post(a, b, &preRuns, &mainRuns)
+	eng.RunUntil(Time(150 * Nanosecond)) // before preAt: nothing
+	if preRuns != 0 || mainRuns != 0 {
+		t.Fatalf("after 150ns: pre=%d main=%d, want 0,0", preRuns, mainRuns)
+	}
+	eng.RunUntil(Time(250 * Nanosecond)) // preAt <= 250 < at: flush
+	if preRuns != 1 || mainRuns != 0 {
+		t.Fatalf("after 250ns: pre=%d main=%d, want 1,0", preRuns, mainRuns)
+	}
+	eng.RunUntil(Time(260 * Nanosecond)) // already flushed: not again
+	eng.RunUntil(Time(400 * Nanosecond)) // main event executes
+	if preRuns != 1 || mainRuns != 1 {
+		t.Fatalf("after 400ns: pre=%d main=%d, want 1,1", preRuns, mainRuns)
+	}
+
+	// No boundary inside the window: pre never fires.
+	eng, a, b = build()
+	preRuns, mainRuns = 0, 0
+	post(a, b, &preRuns, &mainRuns)
+	eng.RunUntil(Time(400 * Nanosecond))
+	if preRuns != 0 || mainRuns != 1 {
+		t.Fatalf("single run: pre=%d main=%d, want 0,1", preRuns, mainRuns)
+	}
+}
+
 func TestEngineIdleAdvancesClock(t *testing.T) {
 	eng := NewEngine(2)
 	a := eng.NewLP("a")

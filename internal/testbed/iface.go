@@ -28,6 +28,10 @@ type linkJob struct {
 	port    *asic.Port
 	arrival netsim.Time
 	n       int
+	// credited records that the destination port's RX counters were
+	// already credited by the engine's boundary flush (runRemoteRxCredit),
+	// so the deferred-arrival handler must not credit them again.
+	credited bool
 }
 
 var linkJobPool = sync.Pool{New: func() any { return new(linkJob) }}
@@ -68,16 +72,30 @@ func runIfaceTxCountJob(a any) {
 	i.TxBytes += uint64(n)
 }
 
+// runRemoteRxCredit is the boundary side effect of a deferred switch-port
+// delivery (netsim.PostRemotePre): the sequential engine credits RX counters
+// at wire arrival, one ingress latency before pipeline entry, so when a
+// RunUntil deadline lands inside that window the engine flushes the credit
+// at the boundary. runRemoteArrival skips the credit once this has run.
+func runRemoteRxCredit(a any) {
+	j := a.(*linkJob)
+	j.credited = true
+	j.port.CreditRX(j.n)
+}
+
 // runRemoteArrival completes a cross-LP cable hop on the destination LP:
 // deferred port ingress for switch-port destinations (the frame arrived
 // DeliverLookahead earlier — see asic.Port.DeliverDeferred), plain delivery
 // for interface destinations.
 func runRemoteArrival(a any) {
 	j := a.(*linkJob)
-	port, dst, pkt, arrival := j.port, j.dst, j.pkt, j.arrival
+	port, dst, pkt, arrival, credited := j.port, j.dst, j.pkt, j.arrival, j.credited
 	*j = linkJob{}
 	linkJobPool.Put(j)
 	if port != nil {
+		if !credited {
+			port.CreditRX(pkt.Len())
+		}
 		port.DeliverDeferred(pkt, arrival)
 	} else {
 		dst.Deliver(pkt)

@@ -107,8 +107,11 @@ func (p *Partition) Connect(a, b Attach, propagation netsim.Duration) {
 // only *schedules* pipeline entry after the MAC/ingress latency, so the
 // message instead targets that deferred instant directly (at = arrival +
 // ingress latency, schedAt = arrival), buying the channel an extra
-// DeliverLookahead of lookahead; see asic.Port.DeliverDeferred for the one
-// observable difference (RX-counter credit time).
+// DeliverLookahead of lookahead. The sequential engine credits the port's
+// RX counters at the arrival instant, inside that window — the message
+// carries the credit as a boundary side effect (PostRemotePre with preAt =
+// arrival, flushed if a RunUntil deadline lands between arrival and
+// pipeline entry) so counters sampled at any boundary stay bit-identical.
 func (p *Partition) wire(src, dst Attach, propagation netsim.Duration) {
 	ss, srcGbps, _ := endpoint(src)
 	ds, _, dstPort := endpoint(dst)
@@ -124,8 +127,9 @@ func (p *Partition) wire(src, dst Attach, propagation netsim.Duration) {
 		j := linkJobPool.Get().(*linkJob)
 		j.pkt = pkt
 		if dstPort != nil {
-			j.port, j.arrival = dstPort, arrival
-			ss.PostRemote(ds, arrival.Add(ingressLA), arrival, runRemoteArrival, j)
+			j.port, j.arrival, j.n = dstPort, arrival, pkt.Len()
+			ss.PostRemotePre(ds, arrival.Add(ingressLA), arrival, arrival,
+				runRemoteRxCredit, runRemoteArrival, j)
 		} else {
 			j.dst = dst
 			ss.PostRemote(ds, arrival, end, runRemoteArrival, j)

@@ -279,6 +279,56 @@ func TestPartitionRunForComposes(t *testing.T) {
 	}
 }
 
+// TestPartitionBoundaryRxCredit pins port RX-counter bit-identity at RunUntil
+// boundaries that land between a frame's wire arrival and its deferred
+// pipeline entry on a partitioned link (the engine's boundary flush of the
+// PostRemotePre credit), and that deliveries spanning a boundary survive into
+// the next run — the cross-run composition the experiment driver's
+// warmup+window pattern exercises.
+func TestPartitionBoundaryRxCredit(t *testing.T) {
+	type edgeSnap struct {
+		EdgeRx, EdgeRxBytes uint64 // port 0 RX sampled at the boundary
+		FinalRx, SinkPkts   uint64 // totals after the drained second run
+	}
+	sample := func(workers int, deadline netsim.Time) edgeSnap {
+		p := NewPartition(workers)
+		src := NewIface(p.LP("src"), "src", 40)
+		dut := NewForwardingDUT(p.LP("dut"), "dut", []float64{40, 40}, map[int]int{0: 1}, 7)
+		sink := NewSink(p.LP("sink"), "sink", 40)
+		p.Connect(src, dut.Port(0), DefaultCableDelay)
+		p.Connect(dut.Port(1), sink.Iface, DefaultCableDelay)
+		raw := buildTCPFrame(t, 40000, 80, netproto.TCPSyn, 1, nil, 64)
+		src.Sim().At(netsim.Time(0).Add(10*netsim.Microsecond),
+			func() { src.Send(&netproto.Packet{Data: raw}) })
+		p.RunUntil(deadline)
+		s := edgeSnap{EdgeRx: dut.Port(0).RxPackets, EdgeRxBytes: dut.Port(0).RxBytes}
+		p.RunUntil(deadline.Add(netsim.Millisecond))
+		s.FinalRx, s.SinkPkts = dut.Port(0).RxPackets, sink.Packets
+		return s
+	}
+	// Sweep boundaries across the frame's arrival + MAC/ingress-latency
+	// window (sent at 10us, ~17ns serialization + 5ns cable, then the fixed
+	// ingress latency): several edges fall strictly inside the deferred
+	// window, where the sequential engine has already credited RX.
+	sawCredit := false
+	for off := netsim.Duration(0); off <= 800*netsim.Nanosecond; off += 25 * netsim.Nanosecond {
+		deadline := netsim.Time(0).Add(10 * netsim.Microsecond).Add(off)
+		want := sample(1, deadline)
+		sawCredit = sawCredit || want.EdgeRx > 0
+		if want.SinkPkts != 1 {
+			t.Fatalf("off=%v: sequential run lost the frame: %+v", off, want)
+		}
+		for _, w := range partitionWorkers {
+			if got := sample(w, deadline); got != want {
+				t.Errorf("off=%v workers=%d: got %+v, want %+v", off, w, got, want)
+			}
+		}
+	}
+	if !sawCredit {
+		t.Fatal("sweep never crossed the frame's arrival; widen the offsets")
+	}
+}
+
 // TestPartitionMixedLocalRemote pins that a partition can mix same-LP legacy
 // cables with cross-LP channels: two sinks, one co-located with the source's
 // LP, one remote, both fed by a forwarding switch.
