@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench perfguard clean
+.PHONY: all build test race lint vet bench perfguard clean \
+	fuzz-seeds fuzz trace-oracle trace bench-par
 
 all: build test lint
 
@@ -13,7 +14,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Project analyzers: poolsafety, determinism, atcall (see DESIGN.md §8).
+# Replay the committed decoder fuzz corpus as regression tests.
+fuzz-seeds:
+	$(GO) test -run Fuzz ./internal/netproto/
+
+# Open-ended fuzzing session against the packet decoder.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzStackDecode -fuzztime 60s ./internal/netproto/
+
+# Full-trace differential oracle: the per-packet lifecycle trace must be
+# bit-identical between the sequential and parallel engines.
+trace-oracle:
+	$(GO) test -race -run TestTrace -count=1 ./internal/experiments/ -v
+
+# Traced sample run: writes a Perfetto-loadable trace of the observability
+# workload (load at https://ui.perfetto.dev).
+trace:
+	$(GO) run ./cmd/htbench -quick -run "Fig. 10" -json /tmp/htbench-trace.json -trace perfetto-trace.json
+
+# Project analyzers: poolsafety, determinism, atcall, obsalloc (DESIGN.md §8).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/htlint ./...

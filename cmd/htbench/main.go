@@ -6,7 +6,7 @@
 // Usage:
 //
 //	htbench [-quick] [-seed N] [-run substr] [-workers N] [-simworkers N]
-//	        [-json file] [-cpuprofile file] [-memprofile file]
+//	        [-json file] [-trace file] [-cpuprofile file] [-memprofile file]
 //
 // -run selects experiments whose ID contains the substring (e.g. "Fig. 11"
 // or "Table"); the default runs everything in paper order. Experiments fan
@@ -19,6 +19,13 @@
 // Per-experiment allocation counts are only recorded with -workers 1 and
 // -simworkers 1, where the runtime's allocation counters are attributable
 // to a single experiment at a time.
+//
+// -trace runs the observability sample workload (internal/experiments.
+// TraceSample) after the measured suite, writes its per-packet lifecycle
+// trace as Chrome trace-event JSON loadable in Perfetto, and stamps the
+// run's metrics snapshot into BENCH_results.json under "obs". The measured
+// suite itself always runs untraced, so trace collection never skews the
+// wall clocks perfguard gates on.
 package main
 
 import (
@@ -73,7 +80,17 @@ type benchReport struct {
 	SimWorkers       int         `json:"sim_workers"`
 	GOMAXPROCS       int         `json:"gomaxprocs"`
 	TotalWallSeconds float64     `json:"total_wall_s"`
-	Experiments      []expReport `json:"experiments"`
+	// TracedSuite records whether per-packet tracing was enabled during the
+	// measured suite. htbench always measures untraced — the -trace sample
+	// runs after measurement — so this is false here; the field exists so
+	// perfguard can reject results files whose timings include tracing
+	// overhead.
+	TracedSuite bool `json:"traced_suite"`
+	// Obs is the observability snapshot of the post-suite traced sample run
+	// (tester switch counters, per-sink traffic, scheduler and LP-engine
+	// stats, trace stream sizes); present only with -trace.
+	Obs         map[string]any `json:"obs,omitempty"`
+	Experiments []expReport    `json:"experiments"`
 }
 
 // gitRev resolves the source revision: stamped VCS build info first (present
@@ -119,6 +136,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "experiment worker-pool size")
 	simWorkers := flag.Int("simworkers", 1, "per-experiment worker budget: >1 runs testbeds on the parallel LP engine")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results here (empty to disable)")
+	tracePath := flag.String("trace", "", "after the suite, run the traced sample workload and write a Perfetto-loadable Chrome trace JSON here")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
 	memprofile := flag.String("memprofile", "", "write a heap profile here (captured after the run)")
 	flag.Parse()
@@ -228,6 +246,35 @@ func main() {
 		f.Close()
 	}
 
+	// The traced sample runs after the measured suite so tracing overhead
+	// never reaches the wall clocks perfguard gates on.
+	var obsSnapshot map[string]any
+	if *tracePath != "" {
+		ts, reg, err := experiments.TraceSample(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := ts.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		obsSnapshot = reg.Snapshot()
+		obsSnapshot["trace.streams"] = len(ts.Traces())
+		obsSnapshot["trace.records"] = ts.Len()
+		obsSnapshot["trace.dropped"] = ts.Dropped()
+		fmt.Printf("wrote %s (%d records across %d streams)\n", *tracePath, ts.Len(), len(ts.Traces()))
+	}
+
 	if *jsonPath != "" {
 		doc := benchReport{
 			GeneratedUnix:    time.Now().Unix(),
@@ -241,6 +288,8 @@ func main() {
 			SimWorkers:       *simWorkers,
 			GOMAXPROCS:       prevMaxProcs,
 			TotalWallSeconds: total.Seconds(),
+			TracedSuite:      false, // the measured suite above never traces
+			Obs:              obsSnapshot,
 			Experiments:      reports,
 		}
 		buf, err := json.MarshalIndent(doc, "", "  ")

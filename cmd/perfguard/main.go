@@ -10,7 +10,9 @@
 //     allocation counts for the same sim_workers setting — each
 //     experiment's allocs_op must stay within -allocs-tolerance (default
 //     10%, plus a small absolute slack for tiny experiments) of its
-//     baseline.
+//     baseline. Both budgets are disabled-tracing budgets: a fresh results
+//     file whose measured suite ran with per-packet tracing enabled
+//     (traced_suite) is rejected as non-comparable.
 //
 // Usage:
 //
@@ -41,6 +43,7 @@ type benchReport struct {
 	Seed             int64       `json:"seed"`
 	SimWorkers       int         `json:"sim_workers"`
 	TotalWallSeconds float64     `json:"total_wall_s"`
+	TracedSuite      bool        `json:"traced_suite"`
 	Experiments      []expReport `json:"experiments"`
 }
 
@@ -80,6 +83,14 @@ func main() {
 	if base.Quick != fresh.Quick || base.Seed != fresh.Seed {
 		fmt.Fprintf(os.Stderr, "perfguard: config mismatch: baseline quick=%v seed=%d, fresh quick=%v seed=%d\n",
 			base.Quick, base.Seed, fresh.Quick, fresh.Seed)
+		os.Exit(2)
+	}
+	// The wall and allocation budgets are disabled-tracing budgets: htbench
+	// measures with tracing off (the -trace sample runs after measurement).
+	// A results file whose measured suite ran traced is not comparable to
+	// the baseline and is rejected outright.
+	if fresh.TracedSuite {
+		fmt.Fprintln(os.Stderr, "perfguard: fresh results were measured with tracing enabled; re-run htbench (tracing is sampled post-suite)")
 		os.Exit(2)
 	}
 

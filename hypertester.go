@@ -28,6 +28,7 @@ import (
 	"github.com/hypertester/hypertester/internal/core/ntapi"
 	"github.com/hypertester/hypertester/internal/core/stateless"
 	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
 	"github.com/hypertester/hypertester/internal/p4ir"
 	"github.com/hypertester/hypertester/internal/switchcpu"
 )
@@ -60,7 +61,8 @@ type Tester struct {
 	Sender   *htps.Sender
 	Receiver *htpr.Receiver
 
-	cfg Config
+	cfg   Config
+	trace *obs.Trace
 }
 
 // New builds a tester switch. Load a task with LoadTask before starting.
@@ -91,6 +93,35 @@ func New(cfg Config) *Tester {
 
 // Port returns a front-panel port for testbed wiring.
 func (t *Tester) Port(id int) *asic.Port { return t.Switch.Port(id) }
+
+// EnableTrace attaches a per-packet lifecycle trace stream to the tester:
+// the switch (parse/table/TM/mcast/recirculate/deparse/digest/drop/wire
+// records) plus the SALU register arrays of any loaded task. Tracing is
+// purely observational — enabling it changes no experiment result — and a
+// nil stream disables it. Call any time; a task loaded later inherits the
+// stream.
+func (t *Tester) EnableTrace(tr *obs.Trace) {
+	t.trace = tr
+	t.Switch.SetTrace(tr)
+	t.observeProgram()
+}
+
+// observeProgram binds the active task's register arrays to the trace.
+func (t *Tester) observeProgram() {
+	if t.trace == nil {
+		return
+	}
+	if t.Sender != nil {
+		t.Sender.Observe(t.Sim, t.trace)
+	}
+	if t.Receiver != nil {
+		t.Receiver.Observe(t.Sim, t.trace)
+	}
+}
+
+// Describe registers the tester's health metrics (switch counters, pools,
+// digest channel) on r.
+func (t *Tester) Describe(r *obs.Registry) { t.Switch.Describe(r) }
 
 // LoadTask compiles a task and deploys it onto the switch, replacing any
 // previously loaded task.
@@ -150,6 +181,7 @@ func (t *Tester) deploy(prog *compiler.Program) error {
 	t.Program = prog
 	t.Sender = send
 	t.Receiver = recv
+	t.observeProgram()
 	return nil
 }
 

@@ -1,0 +1,77 @@
+package asic
+
+import (
+	"fmt"
+
+	"github.com/hypertester/hypertester/internal/obs"
+)
+
+// Observability wiring for the switch. Trace emissions are placed only at
+// engine-invariant instants — points that execute at the same virtual time
+// and in the same per-device order under both the sequential and the
+// parallel (LP) engines — so per-switch trace streams are bit-identical at
+// any worker count (the determinism contract in package obs). Concretely:
+//
+//   - parse / table / SALU / TM / mcast / recirculate / deparse / digest /
+//     drop records are emitted inside pipeline passes and TM hops, which the
+//     LP engine schedules exactly as the sequential engine does;
+//   - wire_tx is emitted at serialization end, which both engines schedule
+//     from Transmit time (txDone locally, runTxCountJob on partitioned
+//     links);
+//   - no record is emitted from Port.Receive: the partitioned path performs
+//     arrival bookkeeping at a different instant (see Port.DeliverDeferred),
+//     so RX visibility comes from the parse record at pipeline entry, which
+//     is engine-invariant.
+//
+// Every callsite passes only pre-materialized scalars and interned labels;
+// with tracing disabled (nil trace) each reduces to a field load and one
+// predictable branch — the htlint obsalloc analyzer and the zero-alloc
+// tests hold that path at 0 allocs/op.
+
+// Drop-reason labels (interned; trace callsites must not build strings).
+const (
+	dropPipeline = "pipeline"
+	dropNoRoute  = "noroute"
+	dropTx       = "txdrop"
+)
+
+// SetTrace attaches a trace stream to the switch (nil disables tracing).
+// Call while the switch is idle — mid-flight packets would get a torn
+// trace, not corrupted state.
+func (sw *Switch) SetTrace(tr *obs.Trace) { sw.trace = tr }
+
+// Trace returns the attached trace stream (nil when disabled).
+func (sw *Switch) Trace() *obs.Trace { return sw.trace }
+
+// Describe registers the switch's health metrics on r under the switch
+// name: per-port TX/RX counters, drop counters, digest-channel state and
+// hot-path pool sizes. Gauges are read lazily at snapshot time; Describe
+// itself is setup-time code and may allocate freely.
+func (sw *Switch) Describe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	prefix := sw.Name
+	r.Gauge(prefix+".pipeline_drops", func() float64 { return float64(sw.PipelineDrops) })
+	r.Gauge(prefix+".noroute_drops", func() float64 { return float64(sw.NoRouteDrops) })
+	r.Gauge(prefix+".digests_sent", func() float64 { return float64(sw.DigestsSent) })
+	r.Gauge(prefix+".digest_drops", func() float64 { return float64(sw.DigestDrops) })
+	r.Gauge(prefix+".digest_queue", func() float64 { return float64(sw.digestQueue.Len()) })
+	r.Gauge(prefix+".phv_pool", func() float64 { return float64(len(sw.phvFree)) })
+	r.Gauge(prefix+".job_pool", func() float64 { return float64(len(sw.jobFree)) })
+	for _, pt := range sw.ports {
+		pt.describe(r, fmt.Sprintf("%s.port%d", prefix, pt.ID))
+	}
+	for _, pt := range sw.recirc {
+		pt.describe(r, fmt.Sprintf("%s.recirc%d", prefix, pt.ID-RecircPortBase))
+	}
+}
+
+// describe registers one port's counters under prefix.
+func (pt *Port) describe(r *obs.Registry, prefix string) {
+	r.Gauge(prefix+".tx_packets", func() float64 { return float64(pt.TxPackets) })
+	r.Gauge(prefix+".tx_bytes", func() float64 { return float64(pt.TxBytes) })
+	r.Gauge(prefix+".rx_packets", func() float64 { return float64(pt.RxPackets) })
+	r.Gauge(prefix+".rx_bytes", func() float64 { return float64(pt.RxBytes) })
+	r.Gauge(prefix+".tx_drops", func() float64 { return float64(pt.TxDrops) })
+}

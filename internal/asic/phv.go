@@ -1,6 +1,10 @@
 package asic
 
-import "github.com/hypertester/hypertester/internal/netproto"
+import (
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
+)
 
 // PHV is the packet header vector: the parsed representation of a packet
 // plus intrinsic metadata, carried through the match-action pipelines.
@@ -46,6 +50,14 @@ type PHV struct {
 	// Scratch is pipeline scratch metadata (temporary PHV containers),
 	// reset for every packet.
 	Scratch [8]uint64
+
+	// Trace, when non-nil, receives per-stage lifecycle records (table
+	// hits, deparse) emitted during this pipeline pass; TraceAt is the
+	// pass's virtual instant. Set by the switch after acquiring the PHV —
+	// every stage of one pass runs at a single instant, so emitters use
+	// TraceAt instead of re-reading the clock.
+	Trace   *obs.Trace
+	TraceAt netsim.Time
 }
 
 // NewPHV parses pkt into a fresh PHV. Parse errors leave the successfully
@@ -72,6 +84,8 @@ func (p *PHV) init(pkt *netproto.Packet) {
 	p.DigestFree = nil
 	p.Dirty = false
 	p.Scratch = [8]uint64{}
+	p.Trace = nil
+	p.TraceAt = 0
 	// The parser stops at unknown layers without failing the packet.
 	_ = p.Stack.Decode(pkt.Data)
 }
@@ -86,6 +100,7 @@ func (p *PHV) Deparse() {
 	if !p.Dirty {
 		return
 	}
+	p.Trace.Emit(p.TraceAt, obs.KindDeparse, p.Meta.UID, "", 0, int64(p.FrameLen))
 	data := p.Pkt.Data
 	off := 0
 	if p.Has(netproto.LayerEthernet) {

@@ -2,6 +2,7 @@ package asic
 
 import (
 	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/obs"
 )
 
 // This file holds the switch's hot-path object pools. A Switch is bound to a
@@ -53,9 +54,11 @@ type pktJob struct {
 	sw   *Switch
 	pkt  *netproto.Packet
 	port *Port
-	// n carries a byte count for jobs that outlive their packet (the packet
-	// is already handed across an LP boundary when the job fires).
-	n int
+	// n and uid carry a byte count and packet UID for jobs that outlive
+	// their packet (the packet is already handed across an LP boundary when
+	// the job fires).
+	n   int
+	uid uint64
 }
 
 // job builds a pooled hop descriptor.
@@ -69,18 +72,18 @@ func (sw *Switch) job(pkt *netproto.Packet, port *Port) *pktJob {
 	return &pktJob{sw: sw, pkt: pkt, port: port}
 }
 
-// jobN builds a pooled descriptor carrying only a byte count — used for TX
-// counter credits on cross-LP links, where the frame itself has already been
-// staged to the remote LP.
-func (sw *Switch) jobN(n int, port *Port) *pktJob {
+// jobN builds a pooled descriptor carrying only a byte count and packet UID
+// — used for TX counter credits on cross-LP links, where the frame itself
+// has already been staged to the remote LP.
+func (sw *Switch) jobN(n int, uid uint64, port *Port) *pktJob {
 	j := sw.job(nil, port)
-	j.n = n
+	j.n, j.uid = n, uid
 	return j
 }
 
 // putJob recycles a hop descriptor at the start of its callback.
 func (sw *Switch) putJob(j *pktJob) {
-	j.pkt, j.port, j.n = nil, nil, 0
+	j.pkt, j.port, j.n, j.uid = nil, nil, 0, 0
 	sw.jobFree = append(sw.jobFree, j)
 }
 
@@ -122,13 +125,17 @@ func runTransmitJob(a any) {
 }
 
 // runTxCountJob credits TX counters at serialization end for frames staged
-// to a remote LP at Transmit time (see Port.Transmit's remote path).
+// to a remote LP at Transmit time (see Port.Transmit's remote path). It is
+// the cross-LP twin of txDone's wire_tx trace record: both are scheduled at
+// Transmit time for the serialization-end instant, so the record lands in
+// the same trace slot under either engine.
 func runTxCountJob(a any) {
 	j := a.(*pktJob)
-	port, n := j.port, j.n
-	j.sw.putJob(j)
+	sw, port, n, uid := j.sw, j.port, j.n, j.uid
+	sw.putJob(j)
 	port.TxPackets++
 	port.TxBytes += uint64(n)
+	sw.trace.Emit(sw.sim.Now(), obs.KindWireTx, uid, "", int64(port.ID), int64(n))
 }
 
 // runTxDoneJob fires when the last bit of a frame leaves the port.

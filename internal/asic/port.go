@@ -3,6 +3,7 @@ package asic
 import (
 	"github.com/hypertester/hypertester/internal/netproto"
 	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
 )
 
 // Port is a switch front-panel or internal port. Transmit serializes frames
@@ -74,6 +75,7 @@ func (pt *Port) Transmit(pkt *netproto.Packet) {
 	}
 	if start.Sub(now) > maxBacklog {
 		pt.TxDrops++
+		pt.sw.trace.Emit(now, obs.KindDrop, pkt.Meta.UID, dropTx, int64(pt.ID), int64(pkt.Len()))
 		pkt.Release()
 		return
 	}
@@ -84,8 +86,9 @@ func (pt *Port) Transmit(pkt *netproto.Packet) {
 		// Cross-LP path: perform txDone's bookkeeping now — the packet is
 		// handed to the staging engine and must not be touched afterwards —
 		// and credit TX counters with a local event at serialization end,
-		// exactly when the sequential engine would.
-		sim.AtCall(end, runTxCountJob, pt.sw.jobN(pkt.Len(), pt))
+		// exactly when the sequential engine would. The job carries the UID
+		// so the wire_tx trace record can still name the frame.
+		sim.AtCall(end, runTxCountJob, pt.sw.jobN(pkt.Len(), pkt.Meta.UID, pt))
 		pkt.Meta.EgressPs = int64(end)
 		pkt.Meta.TemplateID = 0
 		pkt.Meta.Replica = false
@@ -104,6 +107,7 @@ func (pt *Port) txDone(pkt *netproto.Packet) {
 	end := pt.sw.sim.Now()
 	pt.TxPackets++
 	pt.TxBytes += uint64(pkt.Len())
+	pt.sw.trace.Emit(end, obs.KindWireTx, pkt.Meta.UID, "", int64(pt.ID), int64(pkt.Len()))
 	pkt.Meta.EgressPs = int64(end)
 	if pt.Loopback {
 		pt.Receive(pkt)

@@ -1,6 +1,11 @@
 package asic
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
+)
 
 // RegisterArray is a stateful register array accessed through a SALU
 // (stateful ALU). Tofino constrains stateful access: a packet gets one
@@ -13,6 +18,19 @@ type RegisterArray struct {
 	// Accesses counts SALU operations, for resource accounting and the
 	// pull-speed experiments.
 	Accesses uint64
+
+	// clock + trace, when bound via Observe, emit one salu trace record per
+	// Read/Write/RMW (Snapshot and Reset are control-plane bulk operations
+	// and stay silent).
+	clock *netsim.Sim
+	trace *obs.Trace
+}
+
+// Observe binds the array to a trace stream: every subsequent SALU access
+// emits a salu record stamped with clock's current virtual time. Pass a nil
+// trace to unbind.
+func (r *RegisterArray) Observe(clock *netsim.Sim, tr *obs.Trace) {
+	r.clock, r.trace = clock, tr
 }
 
 // NewRegisterArray allocates an array of size cells, all zero.
@@ -33,7 +51,11 @@ func (r *RegisterArray) check(idx int) {
 func (r *RegisterArray) Read(idx int) uint64 {
 	r.check(idx)
 	r.Accesses++
-	return r.cells[idx]
+	v := r.cells[idx]
+	if r.trace != nil {
+		r.trace.Emit(r.clock.Now(), obs.KindSALU, 0, r.Name, int64(idx), int64(v))
+	}
+	return v
 }
 
 // Write stores v (a SALU write).
@@ -41,6 +63,9 @@ func (r *RegisterArray) Write(idx int, v uint64) {
 	r.check(idx)
 	r.Accesses++
 	r.cells[idx] = v
+	if r.trace != nil {
+		r.trace.Emit(r.clock.Now(), obs.KindSALU, 0, r.Name, int64(idx), int64(v))
+	}
 }
 
 // RMW performs one atomic read-modify-write: f receives the old value and
@@ -51,6 +76,9 @@ func (r *RegisterArray) RMW(idx int, f func(old uint64) (newVal, out uint64)) ui
 	r.Accesses++
 	nv, out := f(r.cells[idx])
 	r.cells[idx] = nv
+	if r.trace != nil {
+		r.trace.Emit(r.clock.Now(), obs.KindSALU, 0, r.Name, int64(idx), int64(nv))
+	}
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"github.com/hypertester/hypertester/internal/netproto"
 	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
 )
 
 // RecircPortBase is the port-ID space for internal recirculation paths,
@@ -59,6 +60,10 @@ type Switch struct {
 	// Hot-path object pools (see pool.go). Single-threaded with the Sim.
 	phvFree []*PHV
 	jobFree []*pktJob
+
+	// trace, when non-nil, receives per-packet lifecycle records (see
+	// observe.go for the emission-point contract).
+	trace *obs.Trace
 
 	// Counters.
 	PipelineDrops uint64 // packets dropped by pipeline decision
@@ -156,12 +161,15 @@ func (sw *Switch) InjectFromCPU(pkt *netproto.Packet) {
 // owns pkt for the duration of the pass: packets whose journey ends here
 // (drops) are released back to the packet pool.
 func (sw *Switch) ingress(pkt *netproto.Packet) {
+	sw.trace.Emit(sw.sim.Now(), obs.KindParse, pkt.Meta.UID, "", int64(pkt.Meta.InPort), int64(pkt.Len()))
 	phv := sw.acquirePHV(pkt)
+	phv.Trace, phv.TraceAt = sw.trace, sw.sim.Now()
 	sw.Ingress.Run(phv)
 	pkt.Meta = phv.Meta // metadata edits travel with the packet
 	sw.takeDigest(phv)
 	if phv.Drop {
 		sw.PipelineDrops++
+		sw.trace.Emit(phv.TraceAt, obs.KindDrop, pkt.Meta.UID, dropPipeline, 0, int64(pkt.Len()))
 		sw.releasePHV(phv)
 		pkt.Release()
 		return
@@ -173,6 +181,7 @@ func (sw *Switch) ingress(pkt *netproto.Packet) {
 	case phv.Recirculate:
 		phv.Deparse()
 		port := sw.recircPortFor(phv)
+		sw.trace.Emit(phv.TraceAt, obs.KindRecirculate, pkt.Meta.UID, "", int64(port.ID), 0)
 		sw.releasePHV(phv)
 		sw.toEgress(pkt, port, netsim.Duration(TMLatencyNs)*netsim.Nanosecond)
 	case phv.EgressPort >= 0:
@@ -182,6 +191,7 @@ func (sw *Switch) ingress(pkt *netproto.Packet) {
 		sw.toEgress(pkt, port, netsim.Duration(TMLatencyNs)*netsim.Nanosecond)
 	default:
 		sw.NoRouteDrops++
+		sw.trace.Emit(phv.TraceAt, obs.KindDrop, pkt.Meta.UID, dropNoRoute, 0, int64(pkt.Len()))
 		sw.releasePHV(phv)
 		pkt.Release()
 	}
@@ -205,6 +215,7 @@ func (sw *Switch) replicate(phv *PHV) {
 	copies := sw.Mcast.Copies(phv.McastGroup)
 	if copies == nil {
 		sw.NoRouteDrops++
+		sw.trace.Emit(phv.TraceAt, obs.KindDrop, pkt.Meta.UID, dropNoRoute, 0, int64(pkt.Len()))
 		pkt.Release()
 		return
 	}
@@ -215,6 +226,7 @@ func (sw *Switch) replicate(phv *PHV) {
 		dup.Meta.UID = sw.NextUID()
 		dup.Meta.Replica = true
 		dup.Meta.ReplicaID = c.Rid
+		sw.trace.Emit(phv.TraceAt, obs.KindMcastCopy, dup.Meta.UID, "", int64(c.Port), int64(c.Rid))
 		d := base
 		if c.Rid != 0 {
 			// Replication-engine latency applies to generated copies;
@@ -233,9 +245,11 @@ func (sw *Switch) replicate(phv *PHV) {
 func (sw *Switch) toEgress(pkt *netproto.Packet, port *Port, tmDelay netsim.Duration) {
 	if port == nil {
 		sw.NoRouteDrops++
+		sw.trace.Emit(sw.sim.Now(), obs.KindDrop, pkt.Meta.UID, dropNoRoute, 0, int64(pkt.Len()))
 		pkt.Release()
 		return
 	}
+	sw.trace.Emit(sw.sim.Now(), obs.KindTMEnqueue, pkt.Meta.UID, "", int64(port.ID), int64(pkt.Len()))
 	sw.sim.AfterCall(tmDelay, runEgressJob, sw.job(pkt, port))
 }
 
@@ -243,13 +257,16 @@ func (sw *Switch) toEgress(pkt *netproto.Packet, port *Port, tmDelay netsim.Dura
 // the frame to the port after the egress+MAC latency. Called at traffic-
 // manager completion time.
 func (sw *Switch) runEgress(pkt *netproto.Packet, port *Port) {
+	sw.trace.Emit(sw.sim.Now(), obs.KindTMDequeue, pkt.Meta.UID, "", int64(port.ID), int64(pkt.Len()))
 	phv := sw.acquirePHV(pkt)
+	phv.Trace, phv.TraceAt = sw.trace, sw.sim.Now()
 	phv.EgressPort = port.ID
 	sw.Egress.Run(phv)
 	pkt.Meta = phv.Meta
 	sw.takeDigest(phv)
 	if phv.Drop {
 		sw.PipelineDrops++
+		sw.trace.Emit(phv.TraceAt, obs.KindDrop, pkt.Meta.UID, dropPipeline, 1, int64(pkt.Len()))
 		sw.releasePHV(phv)
 		pkt.Release()
 		return
@@ -279,6 +296,7 @@ func (sw *Switch) takeDigest(phv *PHV) {
 	if phv.DigestData == nil {
 		return
 	}
+	sw.trace.Emit(phv.TraceAt, obs.KindDigest, phv.Meta.UID, "", int64(len(phv.DigestData)), 0)
 	sw.emitDigest(phv.DigestData)
 	if phv.DigestFree != nil {
 		phv.DigestFree(phv.DigestData)

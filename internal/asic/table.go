@@ -3,6 +3,8 @@ package asic
 import (
 	"encoding/binary"
 	"fmt"
+
+	"github.com/hypertester/hypertester/internal/obs"
 )
 
 // Action is the code body of a match-action entry. Actions run against the
@@ -241,6 +243,17 @@ func (t *Table) Apply(p *PHV) bool {
 	} else {
 		t.Misses++
 		act = t.Default
+	}
+	if p.Trace != nil {
+		kind := obs.KindTableMiss
+		if hit {
+			kind = obs.KindTableHit
+		}
+		var k0 int64
+		if len(keys) > 0 {
+			k0 = int64(keys[0])
+		}
+		p.Trace.Emit(p.TraceAt, kind, p.Meta.UID, t.Name, k0, 0)
 	}
 	if act != nil {
 		act(p)

@@ -11,6 +11,8 @@ import (
 	"github.com/hypertester/hypertester/internal/core/compiler"
 	"github.com/hypertester/hypertester/internal/core/ntapi"
 	"github.com/hypertester/hypertester/internal/core/stateless"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
 )
 
 // CounterTable is the data-plane structure behind one reduce or distinct
@@ -73,6 +75,17 @@ type CounterTable struct {
 	FIFODrops    uint64 // KV-FIFO overflow (the §6.1 limitation)
 
 	maxRelocate int
+}
+
+// Observe binds the table's six register arrays to a trace stream so every
+// SALU access during query processing emits a salu record.
+func (ct *CounterTable) Observe(clock *netsim.Sim, tr *obs.Trace) {
+	ct.digest1.Observe(clock, tr)
+	ct.count1.Observe(clock, tr)
+	ct.digest2.Observe(clock, tr)
+	ct.count2.Observe(clock, tr)
+	ct.touch1.Observe(clock, tr)
+	ct.touch2.Observe(clock, tr)
 }
 
 type exactEntry struct {

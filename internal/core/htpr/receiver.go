@@ -7,6 +7,8 @@ import (
 	"github.com/hypertester/hypertester/internal/core/compiler"
 	"github.com/hypertester/hypertester/internal/core/ntapi"
 	"github.com/hypertester/hypertester/internal/core/stateless"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
 )
 
 // QueryState is the runtime of one compiled query.
@@ -145,6 +147,20 @@ func (r *Receiver) State(queryID int) *QueryState {
 
 // States returns all query states.
 func (r *Receiver) States() []*QueryState { return r.states }
+
+// Observe binds every query's SALU register arrays (counter-table slots,
+// delay-timestamp store) to a trace stream, emitting one salu record per
+// access.
+func (r *Receiver) Observe(clock *netsim.Sim, tr *obs.Trace) {
+	for _, st := range r.states {
+		if st.Table != nil {
+			st.Table.Observe(clock, tr)
+		}
+		if st.delayStore != nil {
+			st.delayStore.Observe(clock, tr)
+		}
+	}
+}
 
 // EnableDigestEvictions switches counter-table eviction reporting onto the
 // push-mode digest path (§5.2): evictions become generate_digest messages

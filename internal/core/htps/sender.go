@@ -13,6 +13,7 @@ import (
 	"github.com/hypertester/hypertester/internal/core/compiler"
 	"github.com/hypertester/hypertester/internal/core/stateless"
 	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
 	"github.com/hypertester/hypertester/internal/switchcpu"
 )
 
@@ -155,6 +156,17 @@ func (s *Sender) FiredCount(templateID int) uint64 {
 		return st.Fired
 	}
 	return 0
+}
+
+// Observe binds every template's SALU register arrays (accelerator inflight
+// counter, replication timer) to a trace stream, emitting one salu record
+// per access. Binding order does not matter — records are stamped at access
+// time — so iterating the template map here is fine.
+func (s *Sender) Observe(clock *netsim.Sim, tr *obs.Trace) {
+	for _, st := range s.states {
+		st.inflight.Observe(clock, tr)
+		st.timer.Observe(clock, tr)
+	}
 }
 
 // Start injects every template packet from the switch CPU (step 2 of the

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
 	"github.com/hypertester/hypertester/internal/testbed"
 
 	hypertester "github.com/hypertester/hypertester"
@@ -33,6 +34,14 @@ type Config struct {
 	// bit-identical across any worker count; <= 1 means the sequential
 	// reference engine.
 	SimWorkers int
+	// Trace, when non-nil, records per-packet lifecycle traces for every
+	// device an experiment builds through htGenerate. Streams are created
+	// in topology order (tester first, then sinks by port), so the merged
+	// trace is bit-identical across engines and worker counts. Tracing is
+	// observational only: results are unchanged. Experiments that fan out
+	// over parMap leave it unset on inner runs (seq() strips it) — a single
+	// TraceSet is not safe for concurrent topologies.
+	Trace *obs.TraceSet
 }
 
 // simWorkers normalizes the worker budget.
@@ -44,9 +53,12 @@ func (c Config) simWorkers() int {
 }
 
 // seq returns the config with parallelism stripped — for inner measurements
-// that an outer parMap already spreads across the worker budget.
+// that an outer parMap already spreads across the worker budget. The trace
+// set is stripped with it: inner runs execute concurrently, and a TraceSet
+// is owned by a single topology.
 func (c Config) seq() Config {
 	c.SimWorkers = 1
+	c.Trace = nil
 	return c
 }
 
@@ -152,6 +164,11 @@ func htGenerate(cfg Config, src string, portGbps []float64, seed int64,
 
 	p := testbed.NewPartition(cfg.simWorkers())
 	ht := hypertester.New(hypertester.Config{Sim: p.LP("tester"), Ports: portGbps, Seed: seed})
+	if cfg.Trace != nil {
+		// Stream creation order = LP creation order = merge rank order, so
+		// the canonical trace is engine-independent (see package obs).
+		ht.EnableTrace(cfg.Trace.New("tester"))
+	}
 	if err := ht.LoadTaskSource("exp", src); err != nil {
 		return nil, nil, nil, err
 	}
@@ -159,6 +176,9 @@ func htGenerate(cfg Config, src string, portGbps []float64, seed int64,
 	for i := range portGbps {
 		sinks[i] = testbed.NewSink(p.LP(fmt.Sprintf("sink%d", i)), fmt.Sprintf("sink%d", i), portGbps[i])
 		sinks[i].RecordTimestamps = record
+		if cfg.Trace != nil {
+			sinks[i].Iface.SetTrace(cfg.Trace.New(sinks[i].Iface.Name))
+		}
 		p.Connect(ht.Port(i), sinks[i].Iface, 0)
 	}
 	if err := ht.Start(); err != nil {

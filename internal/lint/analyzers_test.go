@@ -32,6 +32,15 @@ func TestDeterminismFixtures(t *testing.T) {
 	linttest.Run(t, linttest.Fixture(t, "determinism"), a)
 }
 
+func TestObsAllocFixtures(t *testing.T) {
+	a := lint.ObsAlloc(lint.ObsAllocConfig{
+		TraceTypes:  map[string]bool{"obsalloc.Trace": true},
+		EmitMethods: map[string]bool{"Emit": true},
+		BannedPkgs:  map[string]bool{"fmt": true},
+	})
+	linttest.Run(t, linttest.Fixture(t, "obsalloc"), a)
+}
+
 func TestAtCallFixtures(t *testing.T) {
 	a := lint.AtCall(lint.AtCallConfig{
 		Schedulers: map[string]bool{"atcall.Sim": true},

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsAllocConfig parameterizes the obsalloc analyzer. The observability
+// layer's cost contract (internal/obs package doc) is that a disabled trace
+// stream costs one branch per callsite and zero allocations: every function
+// that emits trace records is hot-path code executed per packet. This
+// analyzer bans the patterns that silently break that contract — closures,
+// fmt calls, and map iteration inside emitting functions, and
+// per-call-materialized arguments (string concatenation, formatting calls,
+// function literals) at the emission callsites themselves.
+type ObsAllocConfig struct {
+	// TraceTypes are the trace-stream types whose emission methods mark a
+	// function as fast-path code, as "importpath.TypeName".
+	TraceTypes map[string]bool
+
+	// EmitMethods names the emission entry points on those types.
+	EmitMethods map[string]bool
+
+	// BannedPkgs are packages whose calls allocate per invocation (fmt's
+	// interface boxing and buffer growth); calling into them from a
+	// fast-path function, or in an emission argument, is reported.
+	BannedPkgs map[string]bool
+}
+
+// DefaultObsAllocConfig covers obs.Trace.Emit.
+func DefaultObsAllocConfig() ObsAllocConfig {
+	return ObsAllocConfig{
+		TraceTypes: map[string]bool{
+			"github.com/hypertester/hypertester/internal/obs.Trace": true,
+		},
+		EmitMethods: map[string]bool{"Emit": true},
+		BannedPkgs:  map[string]bool{"fmt": true},
+	}
+}
+
+// ObsAlloc builds the obsalloc analyzer for the given configuration.
+func ObsAlloc(cfg ObsAllocConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "obsalloc",
+		Doc: "flags allocation-introducing patterns in observability fast paths: closures, " +
+			"fmt calls and map iteration inside trace-emitting functions, and per-call " +
+			"label/argument construction at Emit callsites",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				default:
+					return true
+				}
+				if body == nil {
+					return true
+				}
+				checkObsScope(pass, cfg, body)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkObsScope inspects one function body. Nested function literals are
+// separate scopes: they are skipped here (each gets its own visit from the
+// outer Inspect), except that a literal appearing inside a fast-path scope
+// is itself a finding.
+func checkObsScope(pass *Pass, cfg ObsAllocConfig, body *ast.BlockStmt) {
+	fast := false
+	walkDirect(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok && isTraceEmit(pass, cfg, call) {
+			fast = true
+			checkEmitArgs(pass, cfg, call)
+		}
+	})
+	if !fast {
+		return
+	}
+	walkDirect(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"function literal in a trace-emitting fast path allocates a closure per packet; hoist it to a package-level func")
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgCall(pass, n); ok && cfg.BannedPkgs[pkg] {
+				pass.Reportf(n.Pos(),
+					"%s.%s in a trace-emitting fast path allocates per packet; precompute or intern the value", pkg, name)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"map iteration in a trace-emitting fast path has nondeterministic order and hashes per packet; use a slice")
+				}
+			}
+		}
+	})
+}
+
+// checkEmitArgs vets one emission callsite: arguments must be
+// pre-materialized scalars or interned strings, never built per call.
+func checkEmitArgs(pass *Pass, cfg ObsAllocConfig, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		switch a := arg.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(a.Pos(), "function literal as an Emit argument allocates per packet")
+		case *ast.BinaryExpr:
+			if t := pass.TypesInfo.TypeOf(a); t != nil {
+				if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+					pass.Reportf(a.Pos(),
+						"string concatenation as an Emit argument builds a label per packet; pass an interned constant")
+				}
+			}
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgCall(pass, a); ok && cfg.BannedPkgs[pkg] {
+				pass.Reportf(a.Pos(),
+					"%s.%s as an Emit argument allocates per packet; pass an interned constant", pkg, name)
+			}
+		}
+	}
+}
+
+// walkDirect visits every node of body that belongs to the enclosing
+// function itself, treating nested function literals as opaque: the literal
+// node is visited, its body is not.
+func walkDirect(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		fn(n)
+		_, nested := n.(*ast.FuncLit)
+		return !nested
+	})
+}
+
+// isTraceEmit reports whether call is an emission method on a configured
+// trace type.
+func isTraceEmit(pass *Pass, cfg ObsAllocConfig, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !cfg.EmitMethods[sel.Sel.Name] {
+		return false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return cfg.TraceTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// pkgCall resolves a call of the form pkg.Fn and returns the package path
+// and function name.
+func pkgCall(pass *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -8,5 +8,6 @@ func DefaultAnalyzers() []*Analyzer {
 		PoolSafety(DefaultPoolConfig()),
 		Determinism(DefaultDeterminismConfig()),
 		AtCall(DefaultAtCallConfig()),
+		ObsAlloc(DefaultObsAllocConfig()),
 	}
 }

@@ -1,0 +1,86 @@
+// Package obsalloc is the analyzer fixture: a miniature obs.Trace plus the
+// allocation-introducing patterns the fast-path cost contract bans, next to
+// the idiomatic spellings that must stay quiet.
+package obsalloc
+
+import "fmt"
+
+// Time mirrors netsim's virtual clock.
+type Time int64
+
+// Kind mirrors obs.Kind.
+type Kind uint8
+
+// Trace mirrors obs.Trace's emission surface.
+type Trace struct{}
+
+// Emit mirrors obs.Trace.Emit (nil-safe, zero-alloc when disabled).
+func (t *Trace) Emit(at Time, k Kind, uid uint64, label string, arg, arg2 int64) {}
+
+const labelGood = "good"
+
+type dev struct {
+	trace *Trace
+	now   Time
+	names map[int]string
+	ports []int64
+}
+
+// good is the blessed shape: interned label, pre-materialized scalars,
+// slice iteration.
+func (d *dev) good(uid uint64, n int) {
+	for _, p := range d.ports {
+		d.trace.Emit(d.now, 1, uid, labelGood, p, int64(n))
+	}
+}
+
+// describe is setup-time code: no Emit in scope, so closures and fmt are
+// fine here.
+func (d *dev) describe() func() string {
+	return func() string { return fmt.Sprintf("dev-%d", len(d.names)) }
+}
+
+// goodNested keeps scopes separate: the emitting literal is its own fast
+// path; the enclosing setup function is not tainted by it.
+func (d *dev) goodNested() func(uint64) {
+	name := fmt.Sprintf("lane-%d", 1) // setup-time formatting, allowed
+	_ = name
+	return func(uid uint64) {
+		d.trace.Emit(d.now, 1, uid, labelGood, 0, 0)
+	}
+}
+
+func (d *dev) badClosure(uid uint64) {
+	f := func() int64 { return 1 } // want `function literal in a trace-emitting fast path`
+	d.trace.Emit(d.now, 1, uid, labelGood, f(), 0)
+}
+
+func (d *dev) badFmt(uid uint64) {
+	s := fmt.Sprintf("pkt-%d", uid) // want `fmt.Sprintf in a trace-emitting fast path`
+	_ = s
+	d.trace.Emit(d.now, 1, uid, labelGood, 0, 0)
+}
+
+func (d *dev) badMapRange(uid uint64) {
+	for k := range d.names { // want `map iteration in a trace-emitting fast path`
+		_ = k
+	}
+	d.trace.Emit(d.now, 1, uid, labelGood, 0, 0)
+}
+
+func (d *dev) badConcatLabel(uid uint64, name string) {
+	d.trace.Emit(d.now, 1, uid, "t-"+name, 0, 0) // want `string concatenation as an Emit argument`
+}
+
+func (d *dev) badFmtLabel(uid uint64) {
+	d.trace.Emit(d.now, 1, uid, fmt.Sprintf("u%d", uid), 0, 0) // want `fmt.Sprintf as an Emit argument` `fmt.Sprintf in a trace-emitting fast path`
+}
+
+func (d *dev) badEmitClosureArg(uid uint64) {
+	d.trace.Emit(d.now, 1, uid, labelGood, func() int64 { return 2 }(), 0) // want `function literal in a trace-emitting fast path`
+}
+
+// numeric + in an Emit argument is plain arithmetic, not label building.
+func (d *dev) goodNumericArith(uid uint64, a, b int64) {
+	d.trace.Emit(d.now, 1, uid, labelGood, a+b, 0)
+}

@@ -112,6 +112,13 @@ func (s *Stack) Decode(data []byte) error {
 		off += n
 		return s.decodeL4(s.IP4.Protocol, rest, off)
 	case EtherTypeIPv6:
+		// Only the fixed 40-byte header is modelled. When NextHeader is an
+		// extension header (hop-by-hop, routing, fragment, ...), decodeL4
+		// has no decoder for its protocol number and the whole extension
+		// chain — including any TCP/UDP segment behind it — lands in
+		// Payload. The switch pipeline therefore cannot match L4 fields of
+		// extension-headered IPv6 traffic; FuzzStackDecode pins that such
+		// frames still decode without error or panic.
 		n, err := s.IP6.DecodeFrom(rest)
 		if err != nil {
 			return err

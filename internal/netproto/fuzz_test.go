@@ -1,0 +1,171 @@
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzFrame assembles an Ethernet frame from parts without the builders, so
+// seeds can be deliberately malformed (truncated headers, lying length
+// fields, unterminated tag stacks).
+func fuzzFrame(etherType uint16, payload ...[]byte) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, make([]byte, 12)...) // zero MACs
+	b = binary.BigEndian.AppendUint16(b, etherType)
+	for _, p := range payload {
+		b = append(b, p...)
+	}
+	return b
+}
+
+// FuzzStackDecode throws arbitrary bytes at the preallocated-layer decoder
+// and checks its safety contract: no panic on any input, and whenever a
+// payload is reported it must be a window into the input frame (correct
+// offset, in bounds, aliasing the original buffer — never a copy), with the
+// decode fully deterministic.
+func FuzzStackDecode(f *testing.F) {
+	// Well-formed frames from the builders.
+	udp, err := BuildUDP(UDPSpec{
+		SrcIP: MustIPv4("10.0.0.1"), DstIP: MustIPv4("10.0.0.2"),
+		SrcPort: 1, DstPort: 2, FrameLen: 64,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tcp, err := BuildTCP(TCPSpec{
+		SrcIP: MustIPv4("10.0.0.1"), DstIP: MustIPv4("10.0.0.2"),
+		SrcPort: 80, DstPort: 1024, Flags: 0x12, FrameLen: 64,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(udp)
+	f.Add(tcp)
+
+	// Truncations at every layer boundary and mid-header.
+	for _, n := range []int{0, 7, EthernetLen - 1, EthernetLen,
+		EthernetLen + 3, EthernetLen + IPv4MinLen - 1, len(udp) - 1} {
+		if n <= len(udp) {
+			f.Add(udp[:n])
+		}
+	}
+
+	// VLAN tag, truncated VLAN tag, and a QinQ stack (VLAN-in-VLAN: the
+	// inner tag has no decoder slot, so it must land in Payload).
+	vlanTag := func(inner uint16) []byte {
+		return binary.BigEndian.AppendUint16([]byte{0x20, 0x01}, inner)
+	}
+	f.Add(fuzzFrame(EtherTypeVLAN, vlanTag(EtherTypeIPv4), udp[EthernetLen:]))
+	f.Add(fuzzFrame(EtherTypeVLAN, []byte{0x20}))
+	f.Add(fuzzFrame(EtherTypeVLAN, vlanTag(EtherTypeVLAN), vlanTag(EtherTypeIPv4), udp[EthernetLen:]))
+
+	// IPv4 with a TotalLen smaller than its own header, and with options.
+	lying := append([]byte(nil), udp...)
+	binary.BigEndian.PutUint16(lying[EthernetLen+2:], 5)
+	f.Add(lying)
+	opts := append([]byte(nil), udp...)
+	opts[EthernetLen] = 0x46 // IHL=6: one option word the frame doesn't have room for
+	f.Add(opts)
+
+	// IPv6: plain UDP, truncated fixed header, and a hop-by-hop extension
+	// header in front of TCP (decoded as payload; see Stack.Decode).
+	ip6 := func(next uint8, payload []byte) []byte {
+		h := make([]byte, IPv6Len)
+		h[0] = 6 << 4
+		binary.BigEndian.PutUint16(h[4:6], uint16(len(payload)))
+		h[6] = next
+		h[7] = 64
+		return fuzzFrame(EtherTypeIPv6, h, payload)
+	}
+	f.Add(ip6(IPProtoUDP, udp[EthernetLen+IPv4MinLen:]))
+	f.Add(ip6(IPProtoTCP, tcp[EthernetLen+IPv4MinLen:])[:EthernetLen+IPv6Len-2])
+	hbh := append([]byte{IPProtoTCP, 0, 0, 0, 0, 0, 0, 0}, tcp[EthernetLen+IPv4MinLen:]...)
+	f.Add(ip6(0 /* hop-by-hop */, hbh))
+
+	// TCP with a data offset pointing past the segment.
+	shortTCP := append([]byte(nil), tcp...)
+	shortTCP[EthernetLen+IPv4MinLen+12] = 0xf0
+	f.Add(shortTCP)
+
+	// ARP and unknown EtherType.
+	f.Add(fuzzFrame(EtherTypeARP, make([]byte, ARPLen)))
+	f.Add(fuzzFrame(0x88b5, []byte("opaque")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Stack
+		err := s.Decode(data)
+
+		if len(s.Decoded) == 0 && err == nil && len(data) >= EthernetLen {
+			t.Fatalf("decoded nothing without error from %d bytes", len(data))
+		}
+		if s.Has(LayerPayload) != (s.PayloadOffset >= 0) {
+			t.Fatalf("payload layer/offset disagree: %v vs %d", s.Decoded, s.PayloadOffset)
+		}
+		if s.PayloadOffset >= 0 {
+			if len(s.Payload) == 0 {
+				t.Fatal("payload recorded but empty")
+			}
+			if s.PayloadOffset+len(s.Payload) > len(data) {
+				t.Fatalf("payload [%d:%d] out of bounds of %d-byte frame",
+					s.PayloadOffset, s.PayloadOffset+len(s.Payload), len(data))
+			}
+			if &s.Payload[0] != &data[s.PayloadOffset] {
+				t.Fatal("payload is not a window into the frame")
+			}
+		}
+		if len(s.Decoded) > 0 && s.Decoded[0] != LayerEthernet {
+			t.Fatalf("first decoded layer is %v, not ethernet", s.Decoded[0])
+		}
+
+		// Decoding the same bytes again must reproduce the same view.
+		var s2 Stack
+		err2 := s2.Decode(data)
+		if (err == nil) != (err2 == nil) || len(s.Decoded) != len(s2.Decoded) ||
+			s.PayloadOffset != s2.PayloadOffset || !bytes.Equal(s.Payload, s2.Payload) {
+			t.Fatalf("decode not deterministic: %v/%v vs %v/%v", s.Decoded, err, s2.Decoded, err2)
+		}
+		for i := range s.Decoded {
+			if s.Decoded[i] != s2.Decoded[i] {
+				t.Fatalf("decode not deterministic at layer %d", i)
+			}
+		}
+	})
+}
+
+// TestIPv6ExtensionHeaderAsPayload pins the documented modelling limit: an
+// IPv6 frame carrying a hop-by-hop extension header decodes cleanly, but the
+// extension chain and the TCP segment behind it are opaque payload — no TCP
+// layer is reported.
+func TestIPv6ExtensionHeaderAsPayload(t *testing.T) {
+	tcp, err := BuildTCP(TCPSpec{
+		SrcIP: MustIPv4("10.0.0.1"), DstIP: MustIPv4("10.0.0.2"),
+		SrcPort: 80, DstPort: 1024, Flags: 0x02, FrameLen: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := tcp[EthernetLen+IPv4MinLen:]
+	ext := append([]byte{IPProtoTCP, 0, 0, 0, 0, 0, 0, 0}, seg...)
+	h := make([]byte, IPv6Len)
+	h[0] = 6 << 4
+	binary.BigEndian.PutUint16(h[4:6], uint16(len(ext)))
+	h[6] = 0 // hop-by-hop options
+	h[7] = 64
+	frame := fuzzFrame(EtherTypeIPv6, h, ext)
+
+	var s Stack
+	if err := s.Decode(frame); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !s.Has(LayerIPv6) {
+		t.Fatal("ipv6 layer missing")
+	}
+	if s.Has(LayerTCP) {
+		t.Fatal("TCP behind an extension header must not be decoded (fixed-header model)")
+	}
+	if !s.Has(LayerPayload) || s.PayloadOffset != EthernetLen+IPv6Len {
+		t.Fatalf("extension chain should be payload at offset %d, got %d",
+			EthernetLen+IPv6Len, s.PayloadOffset)
+	}
+}

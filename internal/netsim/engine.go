@@ -98,6 +98,12 @@ type lpState struct {
 	et       Time // earliest possible execution time (see RunUntil)
 	horizon  Time
 	runnable bool
+
+	// Lifetime counters, surfaced by Engine.Stats. sent is bumped by the
+	// owning worker (postRemote); received and stalls by the coordinator.
+	sent     uint64
+	received uint64
+	stalls   uint64
 }
 
 // edge is a registered channel before sealing.
@@ -131,6 +137,10 @@ type Engine struct {
 	// beyond it so their boundary side effects (remoteMsg.pre) stay
 	// reachable until the run that executes them.
 	deadline Time
+
+	// Lifetime counters, surfaced by Stats.
+	epochs   uint64
+	lastLBTS Time
 }
 
 // NewEngine builds an engine whose epochs run on up to workers goroutines.
@@ -270,6 +280,7 @@ func (s *Sim) postRemote(dst *Sim, at, schedAt Time, fn func(any), arg any, pre 
 	src.outbox[dst.lp.rank] = append(src.outbox[dst.lp.rank],
 		remoteMsg{at: at, schedAt: schedAt, fn: fn, arg: arg, pre: pre, preAt: preAt})
 	src.staged++
+	src.sent++
 }
 
 // fileInbox files routed messages due within the active deadline into the
@@ -357,6 +368,7 @@ func (e *Engine) route() {
 			}
 			dst := e.lps[d]
 			dst.inbox = append(dst.inbox, ms...)
+			dst.received += uint64(len(ms))
 			for i := range ms {
 				ms[i] = remoteMsg{}
 			}
@@ -423,6 +435,8 @@ func (e *Engine) RunUntil(deadline Time) {
 		if lbts == MaxTime || lbts > deadline {
 			break
 		}
+		e.epochs++
+		e.lastLBTS = lbts
 
 		// Earliest possible execution times, by fixed-point relaxation over
 		// the channel graph: an LP can execute nothing before its own next
@@ -467,6 +481,9 @@ func (e *Engine) RunUntil(deadline Time) {
 			// runnability; inboxes whose earliest message sits at or past
 			// the horizon can wait for a later epoch to be filed.
 			lp.runnable = lp.nextAt < h
+			if !lp.runnable && lp.nextAt <= deadline {
+				lp.stalls++
+			}
 		}
 
 		// Run the epoch: inline when a single LP has work (the common

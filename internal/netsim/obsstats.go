@@ -1,0 +1,86 @@
+package netsim
+
+import "math/bits"
+
+// Observability accessors. These live in netsim (rather than internal/obs)
+// because obs imports netsim for the Time type — the accessors expose the
+// scheduler's internals as plain values so obs can wrap them in gauges
+// without an import cycle. They are meant to be read between runs (or from
+// snapshot gauges after a run); none are safe to call while an Engine epoch
+// is executing on worker goroutines.
+
+// WheelStats is a point-in-time occupancy snapshot of one Sim's scheduler.
+type WheelStats struct {
+	// Pending is the total number of queued events.
+	Pending int
+	// Due counts events already drained past the wheel frontier into the
+	// (at, seq)-ordered due heap.
+	Due int
+	// Overflow counts events beyond the wheel's time span.
+	Overflow int
+	// Buckets counts occupied wheel buckets across all levels — the wheel's
+	// working-set width.
+	Buckets int
+}
+
+// WheelStats reports the scheduler's occupancy.
+func (s *Sim) WheelStats() WheelStats {
+	ws := WheelStats{Pending: s.pending, Due: s.due.len(), Overflow: s.overflow.len()}
+	for l := 0; l < WheelLevels; l++ {
+		for w := 0; w < occWords; w++ {
+			ws.Buckets += bits.OnesCount64(s.occ[l][w])
+		}
+	}
+	return ws
+}
+
+// LPStats is one logical process's lifetime counters.
+type LPStats struct {
+	Name string
+	// Executed counts events run on the LP's Sim.
+	Executed uint64
+	// Pending is the LP's queued-event count (wheel + due + overflow).
+	Pending int
+	// Sent counts cross-LP messages this LP staged (PostRemote calls).
+	Sent uint64
+	// Received counts cross-LP messages routed into this LP's inbox.
+	Received uint64
+	// Stalls counts epochs in which the LP had an event due within the
+	// deadline but could not run it because its horizon blocked it — the
+	// engine's synchronization-wait measure.
+	Stalls uint64
+}
+
+// EngineStats is the engine-wide view of a run.
+type EngineStats struct {
+	Workers int
+	// Epochs counts synchronization windows executed across all RunUntil
+	// calls.
+	Epochs uint64
+	// LBTS is the lower-bound timestamp of the last epoch (MaxTime if the
+	// engine has not run).
+	LBTS Time
+	// LPs holds per-LP counters in rank order.
+	LPs []LPStats
+}
+
+// Stats snapshots the engine's counters. Call only while the engine is
+// quiescent (between RunUntil calls).
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{Workers: e.workers, Epochs: e.epochs, LBTS: e.lastLBTS}
+	if st.LBTS == 0 && e.epochs == 0 {
+		st.LBTS = MaxTime
+	}
+	st.LPs = make([]LPStats, len(e.lps))
+	for i, lp := range e.lps {
+		st.LPs[i] = LPStats{
+			Name:     lp.name,
+			Executed: lp.sim.Executed,
+			Pending:  lp.sim.pending,
+			Sent:     lp.sent,
+			Received: lp.received,
+			Stalls:   lp.stalls,
+		}
+	}
+	return st
+}

@@ -1,0 +1,39 @@
+package obs
+
+import "github.com/hypertester/hypertester/internal/netsim"
+
+// DescribeSim registers snapshot gauges for one Sim's scheduler under
+// prefix: pending/due/overflow event counts and occupied wheel buckets.
+// Gauges read WheelStats lazily at Snapshot time, so registration costs
+// nothing during the run.
+func DescribeSim(r *Registry, prefix string, s *netsim.Sim) {
+	if r == nil || s == nil {
+		return
+	}
+	r.Gauge(prefix+".events_pending", func() float64 { return float64(s.WheelStats().Pending) })
+	r.Gauge(prefix+".events_due", func() float64 { return float64(s.WheelStats().Due) })
+	r.Gauge(prefix+".events_overflow", func() float64 { return float64(s.WheelStats().Overflow) })
+	r.Gauge(prefix+".wheel_buckets", func() float64 { return float64(s.WheelStats().Buckets) })
+	r.Gauge(prefix+".executed", func() float64 { return float64(s.Executed) })
+}
+
+// DescribeEngine registers gauges for the LP engine under prefix: epoch
+// count, last LBTS, and per-LP executed/sent/received/stall counters (keyed
+// by LP name). Call after the engine topology is built; the gauges read
+// Engine.Stats at Snapshot time, which requires the engine to be quiescent.
+func DescribeEngine(r *Registry, prefix string, e *netsim.Engine) {
+	if r == nil || e == nil {
+		return
+	}
+	r.Gauge(prefix+".workers", func() float64 { return float64(e.Stats().Workers) })
+	r.Gauge(prefix+".epochs", func() float64 { return float64(e.Stats().Epochs) })
+	r.Gauge(prefix+".lbts_ns", func() float64 { return e.Stats().LBTS.Nanoseconds() })
+	for i, lp := range e.Stats().LPs {
+		idx := i
+		base := prefix + ".lp." + lp.Name
+		r.Gauge(base+".executed", func() float64 { return float64(e.Stats().LPs[idx].Executed) })
+		r.Gauge(base+".sent", func() float64 { return float64(e.Stats().LPs[idx].Sent) })
+		r.Gauge(base+".received", func() float64 { return float64(e.Stats().LPs[idx].Received) })
+		r.Gauge(base+".stalls", func() float64 { return float64(e.Stats().LPs[idx].Stalls) })
+	}
+}

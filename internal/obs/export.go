@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteCanonical writes the merged trace as one line per record:
+//
+//	<at_ps> <dev> <kind> <uid> <label> <arg> <arg2>\n
+//
+// The encoding is the trace oracle's comparison format: two runs are
+// equivalent iff their canonical dumps are byte-identical. Fields are
+// space-separated; labels are emitted verbatim (they are interned
+// identifiers and never contain whitespace).
+func (s *TraceSet) WriteCanonical(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, r := range s.Merged() {
+		line = line[:0]
+		line = strconv.AppendInt(line, int64(r.At), 10)
+		line = append(line, ' ')
+		line = append(line, r.Dev...)
+		line = append(line, ' ')
+		line = append(line, r.Kind.String()...)
+		line = append(line, ' ')
+		line = strconv.AppendUint(line, r.UID, 10)
+		line = append(line, ' ')
+		if r.Label == "" {
+			line = append(line, '-')
+		} else {
+			line = append(line, r.Label...)
+		}
+		line = append(line, ' ')
+		line = strconv.AppendInt(line, r.Arg, 10)
+		line = append(line, ' ')
+		line = strconv.AppendInt(line, r.Arg2, 10)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Canonical returns the canonical dump as a string (convenience for tests).
+func (s *TraceSet) Canonical() string {
+	var b bytes.Buffer
+	s.WriteCanonical(&b)
+	return b.String()
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// loadable by Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the merged trace as Chrome trace-event JSON.
+// Each device stream becomes a process (pid = rank, named via a
+// process_name metadata event); each packet UID becomes a thread within it,
+// so Perfetto renders one lane per packet lifecycle. Timestamps are
+// sim-time microseconds with sub-ns precision preserved by the float.
+func (s *TraceSet) WriteChromeTrace(w io.Writer) error {
+	merged := s.Merged()
+	events := make([]chromeEvent, 0, len(merged)+len(s.traces))
+	for _, t := range s.traces {
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   t.rank,
+			Args:  map[string]any{"name": t.dev},
+		})
+	}
+	for _, r := range merged {
+		name := r.Kind.String()
+		if r.Label != "" {
+			name = r.Label
+		}
+		events = append(events, chromeEvent{
+			Name:  name,
+			Phase: "i",
+			TS:    float64(r.At) / 1e6, // ps → µs
+			PID:   r.Rank,
+			TID:   r.UID,
+			Scope: "t",
+			Args: map[string]any{
+				"kind": r.Kind.String(),
+				"uid":  r.UID,
+				"arg":  r.Arg,
+				"arg2": r.Arg2,
+			},
+		})
+	}
+	doc := struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     events,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

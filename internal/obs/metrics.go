@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry collects named metrics for one simulation run. It is not
+// synchronized: registration and updates happen on the owning experiment's
+// goroutine (each experiment builds its own Registry, mirroring how each
+// builds its own Partition), and Snapshot is taken after the run completes.
+type Registry struct {
+	names    map[string]struct{}
+	counters []*Counter
+	gauges   []gauge
+	hists    []*Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+func (r *Registry) claim(name string) {
+	if _, dup := r.names[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.names[name] = struct{}{}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Counter registers and returns a new counter. Safe on a nil registry
+// (returns a nil counter whose methods are no-ops), so instrumented code
+// can hold counters unconditionally.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+type gauge struct {
+	name string
+	fn   func() float64
+}
+
+// Gauge registers a read-on-snapshot gauge. The function is invoked only by
+// Snapshot, never on the hot path, so closures are fine here.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.claim(name)
+	r.gauges = append(r.gauges, gauge{name: name, fn: fn})
+}
+
+// Hist is a fixed-bin histogram over sim-time quantities (latencies in ns,
+// queue depths, …). Out-of-range observations are clamped into the edge
+// bins rather than silently dropped, and counted in Under/Over.
+type Hist struct {
+	name     string
+	min, max float64
+	width    float64
+	counts   []uint64
+	total    uint64
+	under    uint64
+	over     uint64
+}
+
+// Histogram registers a histogram with bins equal-width buckets across
+// [min, max). It panics on degenerate shapes (bins<=0 or min>=max) —
+// registration happens at wiring time, where a loud failure beats a
+// silently empty metric. Safe on a nil registry.
+func (r *Registry) Histogram(name string, min, max float64, bins int) *Hist {
+	if r == nil {
+		return nil
+	}
+	if bins <= 0 || !(min < max) {
+		panic(fmt.Sprintf("obs: degenerate histogram %q [%g,%g) bins=%d", name, min, max, bins))
+	}
+	r.claim(name)
+	h := &Hist{name: name, min: min, max: max, width: (max - min) / float64(bins), counts: make([]uint64, bins)}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Observe records one sample. NaN samples are dropped. Safe on a nil Hist.
+func (h *Hist) Observe(x float64) {
+	if h == nil || x != x {
+		return
+	}
+	h.total++
+	idx := int((x - h.min) / h.width)
+	switch {
+	case x < h.min:
+		h.under++
+		idx = 0
+	case x >= h.max || idx >= len(h.counts):
+		if x >= h.max {
+			h.over++
+		}
+		idx = len(h.counts) - 1
+	case idx < 0:
+		idx = 0
+	}
+	h.counts[idx]++
+}
+
+// Total returns the number of samples observed (including clamped ones).
+func (h *Hist) Total() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Snapshot returns all metric values keyed by name. Counters marshal as
+// integers, gauges as floats, histograms as {min,max,total,under,over,
+// counts}. encoding/json sorts map keys, so a marshaled snapshot is
+// deterministic; SortedNames is provided for text output.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, c := range r.counters {
+		out[c.name] = c.v
+	}
+	for _, g := range r.gauges {
+		out[g.name] = g.fn()
+	}
+	for _, h := range r.hists {
+		out[h.name] = map[string]any{
+			"min":    h.min,
+			"max":    h.max,
+			"total":  h.total,
+			"under":  h.under,
+			"over":   h.over,
+			"counts": h.counts,
+		}
+	}
+	return out
+}
+
+// SortedNames returns every registered metric name in lexical order.
+func (r *Registry) SortedNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.names))
+	for n := range r.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,292 @@
+// Package obs is the simulator's observability layer: per-packet lifecycle
+// traces recorded against sim-time, and a metrics registry for counters,
+// gauges and sim-time histograms.
+//
+// # Determinism contract
+//
+// Trace records are only ever emitted from code that executes at the same
+// virtual instant, in the same per-device order, under both the sequential
+// and the parallel (LP) engines. Each traced device owns one Trace stream;
+// a TraceSet assigns every stream a rank in creation order and merges
+// streams by (At, rank), preserving per-stream emission order for equal
+// keys. Because the LP engine replays exactly the per-device event sequence
+// of the sequential engine (see DESIGN.md §10), the merged trace — and its
+// Canonical() byte encoding — is bit-identical at any worker count. The
+// differential tests in internal/experiments diff full canonical traces at
+// simworkers 1 vs 4 and fail on the first diverging byte.
+//
+// # Disabled-path cost contract
+//
+// Emit is nil-receiver-safe: a disabled device holds a nil *Trace and every
+// Emit callsite reduces to one predictable branch. Callsites must pass only
+// already-materialized scalars and interned strings (table names, fixed
+// labels) so the disabled path performs zero allocations; the htlint
+// obsalloc analyzer enforces this statically and
+// TestDisabledTracingZeroAllocs enforces it empirically.
+package obs
+
+import "github.com/hypertester/hypertester/internal/netsim"
+
+// Kind identifies a packet-lifecycle stage.
+type Kind uint8
+
+const (
+	// KindParse marks a frame entering the ingress parser. Arg = ingress
+	// port, Arg2 = frame length.
+	KindParse Kind = 1 + iota
+	// KindTableHit records a match-table hit. Label = table name.
+	KindTableHit
+	// KindTableMiss records a match-table miss. Label = table name.
+	KindTableMiss
+	// KindSALU records a stateful-ALU register access. Label = register
+	// array name, Arg = cell index, Arg2 = the value read or written.
+	KindSALU
+	// KindTMEnqueue marks handoff to the traffic manager. Arg = egress port.
+	KindTMEnqueue
+	// KindTMDequeue marks the egress pipeline starting on a frame after the
+	// traffic-manager delay. Arg = egress port.
+	KindTMDequeue
+	// KindMcastCopy records one replication-engine copy. Arg = egress port,
+	// Arg2 = replica id (rid).
+	KindMcastCopy
+	// KindRecirculate marks a frame re-entering ingress via a recirculation
+	// path. Arg = recirculation port.
+	KindRecirculate
+	// KindDeparse marks header write-back at deparse. Arg = dirty-field
+	// mask, Arg2 = frame length.
+	KindDeparse
+	// KindDigest records a digest emitted toward the CPU. Arg = digest
+	// length in bytes.
+	KindDigest
+	// KindDrop records a dropped frame. Label = drop reason.
+	KindDrop
+	// KindWireTx marks the last bit of a frame leaving a port (end of wire
+	// serialization). Arg = port, Arg2 = frame length.
+	KindWireTx
+	// KindWireRx marks a frame arriving at a host interface. Arg = source
+	// port on the delivering device, Arg2 = frame length.
+	KindWireRx
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	KindParse:       "parse",
+	KindTableHit:    "table_hit",
+	KindTableMiss:   "table_miss",
+	KindSALU:        "salu",
+	KindTMEnqueue:   "tm_enq",
+	KindTMDequeue:   "tm_deq",
+	KindMcastCopy:   "mcast_copy",
+	KindRecirculate: "recirculate",
+	KindDeparse:     "deparse",
+	KindDigest:      "digest",
+	KindDrop:        "drop",
+	KindWireTx:      "wire_tx",
+	KindWireRx:      "wire_rx",
+}
+
+// String returns the canonical stage name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Record is one trace event. Label must be an interned string (a table or
+// register name, or a package-level constant) — emitters never build labels
+// per packet.
+type Record struct {
+	At   netsim.Time
+	Kind Kind
+	UID  uint64
+	// Label names the object involved (table, register, drop reason).
+	Label string
+	// Arg, Arg2 are kind-specific scalars; see the Kind docs.
+	Arg  int64
+	Arg2 int64
+}
+
+// Trace is one device's record stream. The zero value is unusable; obtain
+// traces from TraceSet.New. A nil *Trace is the disabled state: Emit on it
+// is a no-op costing one branch.
+type Trace struct {
+	dev  string
+	rank int
+	recs []Record
+	// limit caps len(recs); 0 means unlimited. The cap is count-based so
+	// that truncation is deterministic across engines.
+	limit   int
+	dropped uint64
+}
+
+// Emit appends one record. Safe on a nil receiver (tracing disabled).
+func (t *Trace) Emit(at netsim.Time, k Kind, uid uint64, label string, arg, arg2 int64) {
+	if t == nil {
+		return
+	}
+	if t.limit > 0 && len(t.recs) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.recs = append(t.recs, Record{At: at, Kind: k, UID: uid, Label: label, Arg: arg, Arg2: arg2})
+}
+
+// Device returns the device name the stream was created for.
+func (t *Trace) Device() string {
+	if t == nil {
+		return ""
+	}
+	return t.dev
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.recs)
+}
+
+// Dropped returns how many events were discarded by the record cap.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Records returns the raw stream in emission order. The slice is owned by
+// the trace; callers must not mutate it.
+func (t *Trace) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	return t.recs
+}
+
+// TraceSet owns the per-device streams of one simulation run. Stream rank —
+// and therefore merge order — is assigned by New in call order, so wiring
+// code must create traces in a deterministic device order (the experiment
+// harness creates them in topology order).
+type TraceSet struct {
+	traces []*Trace
+	limit  int
+}
+
+// NewTraceSet returns an empty set whose streams are unlimited.
+func NewTraceSet() *TraceSet { return &TraceSet{} }
+
+// SetLimit caps each subsequently created stream at n records (0 = no cap).
+// The cap counts records, not bytes, so truncation points are identical
+// across engines.
+func (s *TraceSet) SetLimit(n int) { s.limit = n }
+
+// New creates the stream for device dev and assigns it the next rank.
+func (s *TraceSet) New(dev string) *Trace {
+	t := &Trace{dev: dev, rank: len(s.traces), limit: s.limit}
+	s.traces = append(s.traces, t)
+	return t
+}
+
+// Traces returns the streams in rank order.
+func (s *TraceSet) Traces() []*Trace { return s.traces }
+
+// Len returns the total number of records across all streams.
+func (s *TraceSet) Len() int {
+	n := 0
+	for _, t := range s.traces {
+		n += len(t.recs)
+	}
+	return n
+}
+
+// Dropped returns the total number of cap-discarded records.
+func (s *TraceSet) Dropped() uint64 {
+	var n uint64
+	for _, t := range s.traces {
+		n += t.dropped
+	}
+	return n
+}
+
+// MergedRecord is a Record tagged with its originating stream.
+type MergedRecord struct {
+	Record
+	Dev  string
+	Rank int
+}
+
+// Merged returns all records ordered by (At, rank), with per-stream
+// emission order preserved among equal keys. The ordering key is total and
+// engine-independent, so the merged sequence is bit-identical between the
+// sequential and parallel engines.
+func (s *TraceSet) Merged() []MergedRecord {
+	out := make([]MergedRecord, 0, s.Len())
+	for _, t := range s.traces {
+		for _, r := range t.recs {
+			out = append(out, MergedRecord{Record: r, Dev: t.dev, Rank: t.rank})
+		}
+	}
+	// Insertion order is (rank, emission index); a stable sort on (At,
+	// rank) therefore preserves emission order within each stream.
+	stableSortMerged(out)
+	return out
+}
+
+// stableSortMerged stable-sorts by (At, Rank) using a bottom-up merge sort
+// (sort.SliceStable would work too; this avoids the interface shim on what
+// can be a multi-million-record slice).
+func stableSortMerged(rs []MergedRecord) {
+	n := len(rs)
+	if n < 2 {
+		return
+	}
+	buf := make([]MergedRecord, n)
+	src, dst := rs, buf
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi])
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &rs[0] {
+		copy(rs, src)
+	}
+}
+
+func mergeRuns(dst, a, b []MergedRecord) {
+	i, j := 0, 0
+	for k := range dst {
+		switch {
+		case i >= len(a):
+			dst[k] = b[j]
+			j++
+		case j >= len(b):
+			dst[k] = a[i]
+			i++
+		case mergedLess(&b[j], &a[i]):
+			dst[k] = b[j]
+			j++
+		default:
+			dst[k] = a[i]
+			i++
+		}
+	}
+}
+
+func mergedLess(x, y *MergedRecord) bool {
+	if x.At != y.At {
+		return x.At < y.At
+	}
+	return x.Rank < y.Rank
+}

@@ -240,15 +240,29 @@ type Histogram struct {
 	Total    int
 }
 
-// NewHistogram builds a histogram of xs with n bins.
+// NewHistogram builds a histogram of xs with n bins. A degenerate request
+// (n<=0 or a range where min is not strictly below max, including NaN bounds)
+// yields an empty histogram rather than a panic; NaN samples are skipped, and
+// the bin index is clamped so values a half-ulp below max — where
+// (x-min)/width rounds up to exactly n — land in the last bin instead of one
+// past it.
 func NewHistogram(xs []float64, n int, min, max float64) *Histogram {
+	if n <= 0 || !(min < max) {
+		return &Histogram{Min: min, Max: max}
+	}
 	h := &Histogram{Min: min, Max: max, Counts: make([]int, n)}
 	width := (max - min) / float64(n)
 	for _, x := range xs {
-		if x < min || x >= max {
+		if !(x >= min) || x >= max { // !(x>=min) also rejects NaN
 			continue
 		}
-		h.Counts[int((x-min)/width)]++
+		idx := int((x - min) / width)
+		if idx >= n {
+			idx = n - 1
+		} else if idx < 0 {
+			idx = 0
+		}
+		h.Counts[idx]++
 		h.Total++
 	}
 	return h

@@ -172,6 +172,46 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// Regression tests for the NewHistogram panics: before the clamp/degenerate
+// guards, each of these adversarial inputs indexed Counts out of range (or
+// panicked in makeslice).
+func TestHistogramAdversarial(t *testing.T) {
+	// Float rounding: x = nextafter(max, -inf) with min=0, max=0.1, n=3
+	// makes (x-min)/width round up to exactly n. Pre-fix: Counts[3] of a
+	// 3-bin histogram → index out of range. Post-fix it lands in the last
+	// bin and is counted.
+	x := math.Nextafter(0.1, math.Inf(-1))
+	h := NewHistogram([]float64{x}, 3, 0, 0.1)
+	if h.Total != 1 || h.Counts[2] != 1 {
+		t.Fatalf("rounding edge: total=%d counts=%v, want last-bin count", h.Total, h.Counts)
+	}
+
+	// NaN sample: pre-fix int(NaN) produced a huge negative index.
+	h = NewHistogram([]float64{0.5, math.NaN()}, 4, 0, 1)
+	if h.Total != 1 {
+		t.Fatalf("NaN sample must be skipped, total=%d", h.Total)
+	}
+
+	// Degenerate ranges and bin counts degrade to an empty histogram.
+	for _, tc := range []struct {
+		name     string
+		xs       []float64
+		n        int
+		min, max float64
+	}{
+		{"min==max", []float64{1, 1, 1}, 4, 1, 1},
+		{"min>max", []float64{1}, 4, 2, 1},
+		{"n==0", []float64{1}, 0, 0, 1},
+		{"n<0", []float64{1}, -1, 0, 1}, // pre-fix: makeslice len out of range
+		{"NaN bounds", []float64{1}, 4, math.NaN(), math.NaN()},
+	} {
+		h := NewHistogram(tc.xs, tc.n, tc.min, tc.max)
+		if h.Total != 0 || len(h.Counts) != 0 {
+			t.Fatalf("%s: want empty histogram, got total=%d counts=%v", tc.name, h.Total, h.Counts)
+		}
+	}
+}
+
 // Property: RMSE >= MAE for any series and target (Jensen).
 func TestRMSEGeqMAEProperty(t *testing.T) {
 	f := func(raw []int8, target int8) bool {

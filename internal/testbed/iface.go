@@ -12,6 +12,7 @@ import (
 	"github.com/hypertester/hypertester/internal/asic"
 	"github.com/hypertester/hypertester/internal/netproto"
 	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/obs"
 )
 
 // linkJob carries one in-flight frame delivery (cable propagation or NIC
@@ -24,10 +25,12 @@ type linkJob struct {
 	pkt   *netproto.Packet
 	// Cross-LP delivery state (partition.go): the destination switch port
 	// (nil for interface destinations), the wire-arrival timestamp, and a
-	// byte count for TX-counter credits that outlive the packet handoff.
+	// byte count plus packet UID for TX-counter credits (and their wire_tx
+	// trace records) that outlive the packet handoff.
 	port    *asic.Port
 	arrival netsim.Time
 	n       int
+	uid     uint64
 	// credited records that the destination port's RX counters were
 	// already credited by the engine's boundary flush (runRemoteRxCredit),
 	// so the deferred-arrival handler must not credit them again.
@@ -55,6 +58,7 @@ func runIfaceTxJob(a any) {
 	i.TxPackets++
 	i.TxBytes += uint64(pkt.Len())
 	end := i.sim.Now()
+	i.trace.Emit(end, obs.KindWireTx, pkt.Meta.UID, i.Name, 0, int64(pkt.Len()))
 	pkt.Meta.EgressPs = int64(end)
 	if i.peer != nil {
 		i.peer(pkt, end)
@@ -62,14 +66,17 @@ func runIfaceTxJob(a any) {
 }
 
 // runIfaceTxCountJob credits TX counters at serialization end for frames
-// already staged to a remote LP (see Iface.Send's remote path).
+// already staged to a remote LP (see Iface.Send's remote path). Scheduled
+// at Send time for the serialization-end instant — the same slot
+// runIfaceTxJob's wire_tx record occupies under the sequential engine.
 func runIfaceTxCountJob(a any) {
 	j := a.(*linkJob)
-	i, n := j.iface, j.n
+	i, n, uid := j.iface, j.n, j.uid
 	*j = linkJob{}
 	linkJobPool.Put(j)
 	i.TxPackets++
 	i.TxBytes += uint64(n)
+	i.trace.Emit(i.sim.Now(), obs.KindWireTx, uid, i.Name, 0, int64(n))
 }
 
 // runRemoteRxCredit is the boundary side effect of a deferred switch-port
@@ -127,6 +134,11 @@ type Iface struct {
 
 	txBusyUntil netsim.Time
 
+	// trace, when non-nil, records wire_rx/wire_tx lifecycle events. Both
+	// emission points (Deliver at arrival, TX completion at serialization
+	// end) run at engine-invariant instants — see package obs.
+	trace *obs.Trace
+
 	// Counters.
 	TxPackets, TxBytes uint64
 	RxPackets, RxBytes uint64
@@ -147,6 +159,9 @@ func (i *Iface) SetRemote(fn func(pkt *netproto.Packet, end netsim.Time)) { i.re
 // Sim returns the simulation clock this interface is bound to.
 func (i *Iface) Sim() *netsim.Sim { return i.sim }
 
+// SetTrace attaches a trace stream (nil disables tracing).
+func (i *Iface) SetTrace(tr *obs.Trace) { i.trace = tr }
+
 // OnReceive installs the device's frame handler.
 func (i *Iface) OnReceive(fn func(pkt *netproto.Packet)) { i.recv = fn }
 
@@ -154,6 +169,7 @@ func (i *Iface) OnReceive(fn func(pkt *netproto.Packet)) { i.recv = fn }
 func (i *Iface) Deliver(pkt *netproto.Packet) {
 	i.RxPackets++
 	i.RxBytes += uint64(pkt.Len())
+	i.trace.Emit(i.sim.Now(), obs.KindWireRx, pkt.Meta.UID, i.Name, 0, int64(pkt.Len()))
 	pkt.Meta.IngressPs = int64(i.sim.Now())
 	if i.recv != nil {
 		i.recv(pkt)
@@ -176,7 +192,7 @@ func (i *Iface) Send(pkt *netproto.Packet) {
 		// staging engine, and credit TX counters with a local event at
 		// serialization end, exactly when the sequential engine would.
 		j := linkJobPool.Get().(*linkJob)
-		j.iface, j.n = i, pkt.Len()
+		j.iface, j.n, j.uid = i, pkt.Len(), pkt.Meta.UID
 		i.sim.AtCall(end, runIfaceTxCountJob, j)
 		pkt.Meta.EgressPs = int64(end)
 		i.remote(pkt, end)

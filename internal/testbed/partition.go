@@ -36,6 +36,10 @@ func NewPartition(workers int) *Partition {
 // Parallel reports whether the partition runs on the parallel engine.
 func (p *Partition) Parallel() bool { return p.eng != nil }
 
+// Engine returns the underlying parallel engine, or nil in sequential mode.
+// Observability code uses it to register per-LP metrics (obs.DescribeEngine).
+func (p *Partition) Engine() *netsim.Engine { return p.eng }
+
 // LP returns the simulator for one logical process (device). In sequential
 // mode every device shares one Sim.
 func (p *Partition) LP(name string) *netsim.Sim {
