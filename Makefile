@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet bench perfguard clean \
+.PHONY: all build test race lint vet verify bench perfguard clean \
 	fuzz-seeds fuzz trace-oracle trace bench-par
 
 all: build test lint
@@ -11,8 +11,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The experiments package alone runs >10m under the race detector (it
+# re-executes the whole suite at several worker counts), so the default
+# per-package timeout needs raising.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Replay the committed decoder fuzz corpus as regression tests.
 fuzz-seeds:
@@ -39,6 +42,14 @@ lint:
 
 vet:
 	$(GO) vet ./...
+
+# Path-sensitive symbolic verification of the 18-program experiment
+# corpus, plus the witness-packet differential: every extracted witness
+# must replay bit-identically through the compiled ASIC plan and the
+# naive IR interpreter (DESIGN.md §12).
+verify:
+	$(GO) run ./cmd/htverify
+	$(GO) test -race -run 'TestCorpusVerifiesClean|TestWitnessDifferential' -count=1 ./internal/experiments/
 
 bench:
 	$(GO) run ./cmd/htbench -quick

@@ -1,7 +1,7 @@
 // Command htlint is HyperTester's static-analysis driver: a multichecker
 // that runs the repository's analyzer suite (poolsafety, determinism,
-// atcall — see internal/lint) over Go packages and exits non-zero on any
-// diagnostic.
+// atcall, obsalloc — see internal/lint) over Go packages and exits
+// non-zero on any diagnostic.
 //
 // Usage:
 //
@@ -13,46 +13,22 @@
 //
 //	//htlint:ignore poolsafety the scheduler owns queued events
 //
-// The IR-level pipeline verifier is separate: it runs inside the compiler
-// on every Compile call (internal/core/compiler/verifyir.go) and rejects
-// invalid pipeline plans at compile time.
+// The IR-level symbolic verifier is separate: it runs inside the compiler
+// on every Compile call (internal/core/compiler, internal/verify) and has
+// its own corpus driver, cmd/htverify.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
 	"github.com/hypertester/hypertester/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "describe the analyzers and exit")
-	dir := flag.String("dir", ".", "directory to resolve package patterns from")
-	flag.Parse()
-
-	analyzers := lint.DefaultAnalyzers()
-	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
-		return
+	tool := &lint.Tool{
+		Name:     "htlint",
+		Doc:      "run the repository analyzer suite over Go packages",
+		Checkers: lint.AnalyzerCheckers(lint.DefaultAnalyzers()),
 	}
-
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	diags, err := lint.Run(*dir, patterns, analyzers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "htlint:", err)
-		os.Exit(2)
-	}
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "htlint: %d diagnostic(s)\n", len(diags))
-		os.Exit(1)
-	}
+	os.Exit(tool.Main(os.Args[1:]))
 }

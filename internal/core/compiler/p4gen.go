@@ -87,6 +87,7 @@ func genTriggerPush(p *p4ir.Program, prog *Program) {
 			Keys:    []p4ir.KeyDef{{Field: "meta.trigger_push", Bits: 1}},
 			Actions: []string{act},
 			Size:    1,
+			Entries: oneEntry(1),
 		})
 		stmt := p4ir.ControlStmt{
 			If:   "meta.trigger_push == 1",
@@ -100,6 +101,12 @@ func genTriggerPush(p *p4ir.Program, prog *Program) {
 	}
 }
 
+// oneEntry builds the single compile-time entry of a table gated on one key
+// value (per-template gating, the always-on meta.one tables).
+func oneEntry(v uint64) []p4ir.Entry {
+	return []p4ir.Entry{{Values: []uint64{v}}}
+}
+
 // genAccelerator emits the shared template-recirculation machinery (§5.1).
 func genAccelerator(p *p4ir.Program, prog *Program) {
 	p.AddRegister(&p4ir.RegisterDef{Name: "accel_inflight", Width: 32, Size: 64})
@@ -107,11 +114,16 @@ func genAccelerator(p *p4ir.Program, prog *Program) {
 		{Kind: p4ir.OpRegisterRMW, Dst: "accel_inflight", Src: "+1", Bits: 32},
 		{Kind: p4ir.OpRecirculate, Dst: "recirc_port"},
 	}})
+	var entries []p4ir.Entry
+	for _, tmpl := range prog.Templates {
+		entries = append(entries, p4ir.Entry{Values: []uint64{uint64(tmpl.ID)}})
+	}
 	p.AddTable(&p4ir.TableDef{
 		Name: "accelerator", Pipeline: p4ir.PipeIngress, Match: p4ir.MatchExact,
 		Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
 		Actions: []string{"accel_recirculate"},
 		Size:    len(prog.Templates),
+		Entries: entries,
 	})
 	p.Ingress = append(p.Ingress, p4ir.ControlStmt{
 		If:   "meta.template_id != 0",
@@ -140,6 +152,7 @@ func genReplicator(p *p4ir.Program, tmpl *Template) {
 		Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
 		Actions: []string{act},
 		Size:    1,
+		Entries: oneEntry(uint64(tmpl.ID)),
 	})
 	p.Ingress = append(p.Ingress, p4ir.ControlStmt{
 		If:   fmt.Sprintf("meta.template_id == %d", tmpl.ID),
@@ -165,6 +178,7 @@ func genEditor(p *p4ir.Program, tmpl *Template) {
 		Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
 		Actions: []string{bump},
 		Size:    1,
+		Entries: oneEntry(uint64(tmpl.ID)),
 	})
 	stmts := []p4ir.ControlStmt{{Apply: bumpTbl}}
 
@@ -182,6 +196,7 @@ func genEditor(p *p4ir.Program, tmpl *Template) {
 			Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
 			Actions: []string{pop},
 			Size:    1,
+			Entries: oneEntry(uint64(tmpl.ID)),
 		})
 		stmts = append(stmts, p4ir.ControlStmt{Apply: popTbl})
 	}
@@ -215,6 +230,7 @@ func genEditor(p *p4ir.Program, tmpl *Template) {
 				Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
 				Actions: []string{act},
 				Size:    1,
+				Entries: oneEntry(uint64(tmpl.ID)),
 			})
 			stmts = append(stmts, p4ir.ControlStmt{Apply: base + "_prog_tbl"})
 		case ModRandom:
@@ -228,6 +244,7 @@ func genEditor(p *p4ir.Program, tmpl *Template) {
 				Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
 				Actions: []string{draw},
 				Size:    1,
+				Entries: oneEntry(uint64(tmpl.ID)),
 			})
 			lookup := base + "_inv"
 			p.AddAction(&p4ir.ActionDef{Name: lookup, Ops: []p4ir.Op{
@@ -254,6 +271,7 @@ func genEditor(p *p4ir.Program, tmpl *Template) {
 				Keys:    []p4ir.KeyDef{{Field: "meta.template_id", Bits: 16}},
 				Actions: []string{act},
 				Size:    1,
+				Entries: oneEntry(uint64(tmpl.ID)),
 			})
 			stmts = append(stmts, p4ir.ControlStmt{Apply: base + "_rec_tbl"})
 		}
@@ -292,6 +310,7 @@ func genQuery(p *p4ir.Program, q *QueryPlan) {
 			Keys:    []p4ir.KeyDef{{Field: "meta.one", Bits: 1}},
 			Actions: []string{act},
 			Size:    1,
+			Entries: oneEntry(1),
 		})
 		inner = []p4ir.ControlStmt{{Apply: base + "_delay_tbl"}}
 		stmt := p4ir.ControlStmt{If: "true", Then: inner}
@@ -352,6 +371,7 @@ func genQuery(p *p4ir.Program, q *QueryPlan) {
 			Keys:    []p4ir.KeyDef{{Field: "meta.one", Bits: 1}},
 			Actions: []string{cuckooAct},
 			Size:    1,
+			Entries: oneEntry(1),
 		})
 		inner = []p4ir.ControlStmt{
 			{Apply: base + "_exact"},
@@ -375,6 +395,7 @@ func genQuery(p *p4ir.Program, q *QueryPlan) {
 			Keys:    []p4ir.KeyDef{{Field: "meta.one", Bits: 1}},
 			Actions: []string{capAct},
 			Size:    1,
+			Entries: oneEntry(1),
 		})
 		inner = []p4ir.ControlStmt{{Apply: base + "_capture"}}
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/hypertester/hypertester/internal/p4ir"
+	"github.com/hypertester/hypertester/internal/verify"
 )
 
 // This file is the IR-level pipeline verifier: validate.go's whole-chip
@@ -61,7 +62,16 @@ var TofinoStageModel = StageModel{
 // model. It returns the first violation found, or nil for a deployable
 // plan.
 func VerifyPlan(p *p4ir.Program, m StageModel) error {
+	return VerifyPlanEnv(p, m, nil)
+}
+
+// VerifyPlanEnv is VerifyPlan with environment invariants attached: when the
+// syntactic exclusivity heuristic fails on a SALU pair, the path-sensitive
+// walker (internal/verify) is consulted under these invariants before the
+// plan is rejected.
+func VerifyPlanEnv(p *p4ir.Program, m StageModel, invs []verify.Implication) error {
 	v := newVerifier(p)
+	v.invs = invs
 	if err := v.checkParserDAG(); err != nil {
 		return err
 	}
@@ -87,6 +97,9 @@ type verifier struct {
 	prog    *p4ir.Program
 	tables  map[string]*p4ir.TableDef
 	actions map[string]*p4ir.ActionDef
+
+	invs []verify.Implication
+	rep  *verify.Report // lazily-computed path-sensitive report
 }
 
 func newVerifier(p *p4ir.Program) *verifier {
@@ -233,12 +246,31 @@ func (v *verifier) checkSALUAccess(pipe string, accesses []saluAccess) error {
 			if mutuallyExclusive(a.guards, b.guards) {
 				continue
 			}
+			// The syntactic heuristic could not prove exclusivity; it is a
+			// fast pre-pass, not the verdict. Ask the path-sensitive walker
+			// whether the two accesses are ever jointly feasible — interval
+			// guards like "meta.x < 2" vs "meta.x > 5" are exclusive without
+			// sharing the equality shape the heuristic recognizes.
+			if !v.pathConflict(a.register, a.table, b.table) {
+				continue
+			}
 			return fmt.Errorf(
 				"compiler: register %s is accessed by both table %s (action %s) and table %s (action %s) on one %s pass; a register's stateful ALU fires at most once per packet — gate the tables with exclusive conditions or split the register",
 				a.register, a.table, a.action, b.table, b.action, pipe)
 		}
 	}
 	return nil
+}
+
+// pathConflict reports whether the symbolic walker found a feasible pass on
+// which both tables touch the register. A truncated enumeration proves
+// nothing about the paths it never reached, so it stays conservative and
+// upholds the heuristic's rejection.
+func (v *verifier) pathConflict(register, tableA, tableB string) bool {
+	if v.rep == nil {
+		v.rep = verify.Analyze(v.prog, verify.Options{Invariants: v.invs})
+	}
+	return v.rep.Truncated || v.rep.HasSALUConflict(register, tableA, tableB)
 }
 
 // mutuallyExclusive reports whether two guard chains can be shown to never

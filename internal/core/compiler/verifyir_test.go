@@ -217,6 +217,32 @@ func TestVerifyRejectsUnboundedRecirculation(t *testing.T) {
 	}
 }
 
+// TestVerifyAcceptsIntervalExclusiveGuards is the regression for the
+// heuristic's known blind spot: two interval guards over one field can be
+// mutually exclusive without sharing the `field == const` shape the
+// syntactic pre-pass recognizes. The path-sensitive consult must accept the
+// disjoint pair and still reject an overlapping one.
+func TestVerifyAcceptsIntervalExclusiveGuards(t *testing.T) {
+	disjoint := rmwProg(2, true)
+	disjoint.Ingress = []p4ir.ControlStmt{
+		{If: "meta.x < 2", Then: []p4ir.ControlStmt{{Apply: "tbl_a"}}},
+		{If: "meta.x > 5", Then: []p4ir.ControlStmt{{Apply: "tbl_b"}}},
+	}
+	if err := VerifyPlan(disjoint, TofinoStageModel); err != nil {
+		t.Fatalf("disjoint interval guards must verify: %v", err)
+	}
+
+	overlap := rmwProg(2, true)
+	overlap.Ingress = []p4ir.ControlStmt{
+		{If: "meta.x >= 2", Then: []p4ir.ControlStmt{{Apply: "tbl_a"}}},
+		{If: "meta.x <= 5", Then: []p4ir.ControlStmt{{Apply: "tbl_b"}}},
+	}
+	err := VerifyPlan(overlap, TofinoStageModel)
+	if err == nil || !strings.Contains(err.Error(), "at most once per packet") {
+		t.Fatalf("overlapping interval guards must be rejected, got %v", err)
+	}
+}
+
 // TestVerifyAcceptsCompiledPlans pins the other half of the contract: every
 // plan the compiler actually produces must pass the verifier (it already
 // runs inside Compile via validateProgram; calling it again directly makes

@@ -8,25 +8,10 @@ import (
 	"github.com/hypertester/hypertester/internal/testbed"
 )
 
-// CaseWebScale validates the §5.4 workflow at the paper's stated scale:
-// "suppose that the task creates 100K new clients per second … interval is
-// 10us". The full stateless-connection lifecycle (SYN → SYN+ACK → ACK +
-// HTTP GET → 5 data packets → FIN exchange) runs against the server farm,
-// and the sustained connection-setup rate is measured.
-func CaseWebScale(cfg Config) *Result {
-	res := &Result{
-		ID:      "Case study",
-		Title:   "Web testing at 100K connections/s (stateless, §5.4)",
-		Columns: []string{"value"},
-	}
-	window := 50 * netsim.Millisecond
-	if cfg.Quick {
-		window = 15 * netsim.Millisecond
-	}
-
-	// sport sweeps 32768 values; at 10us per SYN that is ~0.33s of
-	// distinct clients, far beyond the window — no flow reuse.
-	task := `
+// caseWebScaleSrc is the §5.4 web-testing workflow. sport sweeps 32768
+// values; at 10us per SYN that is ~0.33s of distinct clients, far beyond
+// any measurement window — no flow reuse.
+const caseWebScaleSrc = `
 T1 = trigger()
     .set([dip, dport, proto, flag, seq_no], [9.9.9.9, 80, tcp, SYN, 1])
     .set(sip, 1.1.0.1)
@@ -52,6 +37,24 @@ T5 = trigger(Q3)
     .set([seq_no, ack_no], [Q3.ack_no, Q3.seq_no + 1])
 Q5 = query().filter(tcp_flag == SYN+ACK).reduce(func=sum)
 `
+
+// CaseWebScale validates the §5.4 workflow at the paper's stated scale:
+// "suppose that the task creates 100K new clients per second … interval is
+// 10us". The full stateless-connection lifecycle (SYN → SYN+ACK → ACK +
+// HTTP GET → 5 data packets → FIN exchange) runs against the server farm,
+// and the sustained connection-setup rate is measured.
+func CaseWebScale(cfg Config) *Result {
+	res := &Result{
+		ID:      "Case study",
+		Title:   "Web testing at 100K connections/s (stateless, §5.4)",
+		Columns: []string{"value"},
+	}
+	window := 50 * netsim.Millisecond
+	if cfg.Quick {
+		window = 15 * netsim.Millisecond
+	}
+
+	task := caseWebScaleSrc
 	// Tester and server farm each get a logical process: the cable between
 	// them is the partition boundary, so the stateless client side and the
 	// stateful DUT advance concurrently under the parallel engine.

@@ -43,13 +43,7 @@ func Fig13RandomQQ(cfg Config) *Result {
 		},
 	}
 	for _, d := range dists {
-		src := fmt.Sprintf(`
-T1 = trigger()
-    .set([dip, sip, proto, dport], [9.9.9.9, 1.1.0.1, udp, 1])
-    .set(sport, %s)
-    .set(interval, 100ns)
-    .set(port, 0)
-`, d.setSrc)
+		src := fig13Src(d.setSrc)
 		samples, err := collectField(cfg, src, cfg.Seed, window, func(s *netproto.Stack) float64 {
 			return float64(s.UDP.SrcPort)
 		})

@@ -1,0 +1,136 @@
+package p4ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file gives gateway condition strings a structured form. The
+// generator emits conditions from a tiny grammar — `true`, or ` and `-joined
+// comparisons of one field against a numeric constant — and the symbolic
+// verifier (internal/verify) needs to reason about them: build path
+// conditions, negate branches, and decide satisfiability. Conditions
+// outside the grammar stay opaque strings; ParseCond reports them so the
+// verifier can treat the branch conservatively.
+
+// CmpOp is a comparison operator in a gateway condition.
+type CmpOp string
+
+// Comparison operators, spelled the way the generator prints them.
+const (
+	CmpEq CmpOp = "=="
+	CmpNe CmpOp = "!="
+	CmpLt CmpOp = "<"
+	CmpLe CmpOp = "<="
+	CmpGt CmpOp = ">"
+	CmpGe CmpOp = ">="
+)
+
+// Negate returns the complementary operator.
+func (o CmpOp) Negate() CmpOp {
+	switch o {
+	case CmpEq:
+		return CmpNe
+	case CmpNe:
+		return CmpEq
+	case CmpLt:
+		return CmpGe
+	case CmpLe:
+		return CmpGt
+	case CmpGt:
+		return CmpLe
+	case CmpGe:
+		return CmpLt
+	}
+	return o
+}
+
+// Eval applies the operator to concrete operands.
+func (o CmpOp) Eval(a, b uint64) bool {
+	switch o {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return a <= b
+	case CmpGt:
+		return a > b
+	case CmpGe:
+		return a >= b
+	}
+	return false
+}
+
+// Atom is one comparison of a field against a constant.
+type Atom struct {
+	Field string
+	Op    CmpOp
+	Value uint64
+}
+
+// Negate returns the atom's complement.
+func (a Atom) Negate() Atom {
+	return Atom{Field: a.Field, Op: a.Op.Negate(), Value: a.Value}
+}
+
+func (a Atom) String() string {
+	return fmt.Sprintf("%s %s %d", a.Field, a.Op, a.Value)
+}
+
+// Cond is a conjunction of atoms. The empty conjunction is `true`.
+type Cond struct {
+	Atoms []Atom
+}
+
+func (c Cond) String() string {
+	if len(c.Atoms) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c.Atoms))
+	for i, a := range c.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// ParseCond parses a gateway condition string. ok is false when the string
+// falls outside the generator's grammar (`true`, or ` and `-joined
+// `field op constant` comparisons); callers must then treat the condition
+// as opaque.
+func ParseCond(s string) (Cond, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "true" {
+		return Cond{}, true
+	}
+	var c Cond
+	for _, part := range strings.Split(s, " and ") {
+		a, ok := parseAtom(part)
+		if !ok {
+			return Cond{}, false
+		}
+		c.Atoms = append(c.Atoms, a)
+	}
+	return c, true
+}
+
+func parseAtom(s string) (Atom, bool) {
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return Atom{}, false
+	}
+	op := CmpOp(fields[1])
+	switch op {
+	case CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe:
+	default:
+		return Atom{}, false
+	}
+	v, err := strconv.ParseUint(fields[2], 0, 64)
+	if err != nil {
+		return Atom{}, false
+	}
+	return Atom{Field: fields[0], Op: op, Value: v}, true
+}

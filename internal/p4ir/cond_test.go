@@ -1,0 +1,75 @@
+package p4ir
+
+import "testing"
+
+func TestParseCond(t *testing.T) {
+	cases := []struct {
+		in   string
+		ok   bool
+		want string
+	}{
+		{"true", true, "true"},
+		{"", true, "true"},
+		{"meta.template_id != 0", true, "meta.template_id != 0"},
+		{"meta.template_id == 2 and eg_intr_md.rid != 0", true,
+			"meta.template_id == 2 and eg_intr_md.rid != 0"},
+		{"ipv4.ttl >= 0x10", true, "ipv4.ttl >= 16"},
+		{"pkt_len <= 1500", true, "pkt_len <= 1500"},
+		{"tcp.flag == SYN", false, ""},        // symbolic constant
+		{"now - last >= interval", false, ""}, // SALU program, not a gateway
+		{"meta.x ~= 3", false, ""},
+	}
+	for _, c := range cases {
+		got, ok := ParseCond(c.in)
+		if ok != c.ok {
+			t.Errorf("ParseCond(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && got.String() != c.want {
+			t.Errorf("ParseCond(%q) = %q, want %q", c.in, got.String(), c.want)
+		}
+	}
+}
+
+func TestAtomNegate(t *testing.T) {
+	pairs := [][2]CmpOp{
+		{CmpEq, CmpNe}, {CmpLt, CmpGe}, {CmpLe, CmpGt},
+	}
+	for _, p := range pairs {
+		if p[0].Negate() != p[1] || p[1].Negate() != p[0] {
+			t.Errorf("negate %s <-> %s broken", p[0], p[1])
+		}
+	}
+	if !CmpLe.Eval(3, 3) || CmpLt.Eval(3, 3) || !CmpNe.Eval(1, 2) {
+		t.Error("CmpOp.Eval wrong")
+	}
+}
+
+func TestValidateEntries(t *testing.T) {
+	prog := func(e Entry, match MatchKind, keys int) *Program {
+		p := &Program{Name: "t"}
+		p.AddAction(&ActionDef{Name: "a"})
+		kd := make([]KeyDef, keys)
+		for i := range kd {
+			kd[i] = KeyDef{Field: "meta.k", Bits: 16}
+		}
+		p.AddTable(&TableDef{
+			Name: "tbl", Pipeline: PipeIngress, Match: match,
+			Keys: kd, Actions: []string{"a"}, Size: 4,
+			Entries: []Entry{e},
+		})
+		return p
+	}
+	if err := prog(Entry{Values: []uint64{1}}, MatchExact, 1).Validate(); err != nil {
+		t.Errorf("valid exact entry rejected: %v", err)
+	}
+	if err := prog(Entry{Values: []uint64{1, 2}}, MatchExact, 1).Validate(); err == nil {
+		t.Error("key-arity mismatch accepted")
+	}
+	if err := prog(Entry{Lo: 5, Hi: 2}, MatchRange, 1).Validate(); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := prog(Entry{Values: []uint64{1}, Action: "nope"}, MatchExact, 1).Validate(); err == nil {
+		t.Error("unknown entry action accepted")
+	}
+}

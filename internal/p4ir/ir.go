@@ -71,6 +71,36 @@ type KeyDef struct {
 	Bits  int
 }
 
+// Entry is one match-action entry the compiler installs at deploy time.
+// Tables populated at runtime by the control plane carry no Entries; the
+// symbolic verifier treats those as hit-or-miss unknowns, while tables with
+// Entries get per-entry reachability and shadowing analysis.
+type Entry struct {
+	// Values holds one value per table key, in Keys order.
+	Values []uint64
+	// Masks holds per-key ternary masks (all-ones = exact on that key);
+	// nil on exact and range tables.
+	Masks []uint64
+	// Lo and Hi bound a range entry on the table's single key.
+	Lo, Hi uint64
+	// Priority orders ternary/range entries (higher wins).
+	Priority int
+	// Action names the entry's action; it must be one of the table's
+	// Actions ("" selects the first).
+	Action string
+}
+
+// ActionName resolves the entry's action against its table.
+func (e *Entry) ActionName(t *TableDef) string {
+	if e.Action != "" {
+		return e.Action
+	}
+	if len(t.Actions) > 0 {
+		return t.Actions[0]
+	}
+	return ""
+}
+
 // TableDef is a match-action table declaration.
 type TableDef struct {
 	Name     string
@@ -79,6 +109,11 @@ type TableDef struct {
 	Keys     []KeyDef
 	Actions  []string // names of ActionDefs
 	Size     int      // allocated entries
+
+	// Entries are the compile-time-installed entries, when the compiler
+	// knows them (per-template gating, the always-on meta.one tables).
+	// Nil means the table is populated at runtime.
+	Entries []Entry
 }
 
 // RegisterDef is a register array declaration.
@@ -188,6 +223,37 @@ func (p *Program) Validate() error {
 		}
 		if t.Size < 0 {
 			return fmt.Errorf("p4ir: table %s has negative size", t.Name)
+		}
+		for i := range t.Entries {
+			e := &t.Entries[i]
+			if t.Match == MatchRange {
+				if len(t.Keys) != 1 {
+					return fmt.Errorf("p4ir: range table %s must have exactly one key", t.Name)
+				}
+				if e.Lo > e.Hi {
+					return fmt.Errorf("p4ir: table %s entry %d has lo > hi", t.Name, i)
+				}
+			} else if len(e.Values) != len(t.Keys) {
+				return fmt.Errorf("p4ir: table %s entry %d has %d key values, want %d",
+					t.Name, i, len(e.Values), len(t.Keys))
+			}
+			if t.Match == MatchTernary && e.Masks != nil && len(e.Masks) != len(t.Keys) {
+				return fmt.Errorf("p4ir: table %s entry %d has %d masks, want %d",
+					t.Name, i, len(e.Masks), len(t.Keys))
+			}
+			if e.Action != "" {
+				found := false
+				for _, an := range t.Actions {
+					if an == e.Action {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("p4ir: table %s entry %d names action %s not offered by the table",
+						t.Name, i, e.Action)
+				}
+			}
 		}
 	}
 	var checkCtl func(stmts []ControlStmt) error
