@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test race lint vet verify bench perfguard clean \
-	fuzz-seeds fuzz trace-oracle trace bench-par
+	fuzz-seeds fuzz trace-oracle trace bench-par suite
 
 all: build test lint
 
@@ -50,6 +50,14 @@ vet:
 verify:
 	$(GO) run ./cmd/htverify
 	$(GO) test -race -run 'TestCorpusVerifiesClean|TestWitnessDifferential' -count=1 ./internal/experiments/
+
+# Run the starter scenario suite on both engines (sequential, then the
+# parallel LP engine with 4 workers); results land in /tmp. The sync test
+# in internal/scenario pins examples/suites/starter.json to the built-in
+# library, so this also exercises the committed file.
+suite:
+	$(GO) run ./cmd/hypertester -suite examples/suites/starter.json -results /tmp/suite-results.json
+	$(GO) run ./cmd/hypertester -suite examples/suites/starter.json -simworkers 4 -results /tmp/suite-results-par.json
 
 bench:
 	$(GO) run ./cmd/htbench -quick

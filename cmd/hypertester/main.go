@@ -1,22 +1,31 @@
 // Command hypertester is the operator CLI: it loads a testing task written
 // in the NTAPI text format (§4), deploys it on the simulated programmable
 // switch, runs it against a chosen device under test, and prints the query
-// reports — the §5.4 workflow end to end.
+// reports — the §5.4 workflow end to end. With -suite it instead loads a
+// declarative scenario suite (JSON), runs every scenario with its checks,
+// and reports per-scenario pass/fail plus an optional machine-readable
+// results file.
 //
 // Usage:
 //
 //	hypertester -task webtest.nt -dut httpfarm -duration 20ms
 //	hypertester -task throughput.nt -p4        # dump the generated P4
+//	hypertester -suite examples/suites/starter.json -results results.json
 //
 // Devices under test: sink (count only), reflector (bounce traffic back),
 // httpfarm (stateful TCP/HTTP servers), scantarget (a probeable address
-// space).
+// space); scenario suites additionally know hhsink (per-flow counts vs a
+// Count-Min shadow).
+//
+// Exit codes: 0 success, 1 suite checks failed, 2 invalid flags or
+// unloadable inputs.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -26,56 +35,83 @@ import (
 	hypertester "github.com/hypertester/hypertester"
 	"github.com/hypertester/hypertester/internal/netsim"
 	"github.com/hypertester/hypertester/internal/p4ir"
+	"github.com/hypertester/hypertester/internal/scenario"
 	"github.com/hypertester/hypertester/internal/testbed"
 )
 
 func main() {
-	taskFile := flag.String("task", "", "NTAPI task file (.nt)")
-	ports := flag.String("ports", "100", "comma-separated port rates in Gbps")
-	duration := flag.Duration("duration", 5*time.Millisecond, "virtual run duration")
-	dutKind := flag.String("dut", "sink", "device under test: sink|reflector|httpfarm|scantarget")
-	dumpP4 := flag.Bool("p4", false, "print the generated P4-14 program and exit")
-	dumpP416 := flag.Bool("p4_16", false, "print the generated P4-16 (TNA) program and exit")
-	pcapOut := flag.String("pcap", "", "write frames received by sink DUTs to this pcap file")
-	resources := flag.Bool("resources", false, "print estimated data-plane resource usage")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// taskDUTKinds are the DUTs the single-task path can build. Scenario suites
+// use the scenario package's catalogue (adds hhsink).
+var taskDUTKinds = []string{"sink", "reflector", "httpfarm", "scantarget"}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hypertester", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	taskFile := fs.String("task", "", "NTAPI task file (.nt)")
+	suiteFile := fs.String("suite", "", "scenario suite file (JSON); overrides -task")
+	resultsFile := fs.String("results", "", "write machine-readable suite results (JSON) here")
+	ports := fs.String("ports", "100", "comma-separated port rates in Gbps")
+	duration := fs.Duration("duration", 5*time.Millisecond, "virtual run duration")
+	dutKind := fs.String("dut", "sink", "device under test: "+strings.Join(taskDUTKinds, "|"))
+	simWorkers := fs.Int("simworkers", 0, "suite mode: run topologies on the parallel engine with this many workers (0 = per-scenario setting)")
+	dumpP4 := fs.Bool("p4", false, "print the generated P4-14 program and exit")
+	dumpP416 := fs.Bool("p4_16", false, "print the generated P4-16 (TNA) program and exit")
+	pcapOut := fs.String("pcap", "", "write frames received by sink DUTs to this pcap file")
+	resources := fs.Bool("resources", false, "print estimated data-plane resource usage")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *suiteFile != "" {
+		if *simWorkers < 0 {
+			fmt.Fprintf(stderr, "hypertester: -simworkers %d is negative\n", *simWorkers)
+			return 2
+		}
+		return runSuite(*suiteFile, *resultsFile, *simWorkers, stdout, stderr)
+	}
 
 	if *taskFile == "" {
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "hypertester: -task or -suite is required")
+		fs.Usage()
+		return 2
+	}
+	rates, err := parsePorts(*ports)
+	if err != nil {
+		fmt.Fprintf(stderr, "hypertester: %v\n", err)
+		return 2
+	}
+	if err := validateTaskFlags(*dutKind, *duration); err != nil {
+		fmt.Fprintf(stderr, "hypertester: %v\n", err)
+		return 2
 	}
 	src, err := os.ReadFile(*taskFile)
 	if err != nil {
-		log.Fatalf("read task: %v", err)
-	}
-
-	var rates []float64
-	for _, p := range strings.Split(*ports, ",") {
-		g, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			log.Fatalf("bad port rate %q", p)
-		}
-		rates = append(rates, g)
+		fmt.Fprintf(stderr, "hypertester: read task: %v\n", err)
+		return 2
 	}
 
 	ht := hypertester.New(hypertester.Config{Ports: rates, Seed: *seed})
 	name := strings.TrimSuffix(filepath.Base(*taskFile), filepath.Ext(*taskFile))
 	if err := ht.LoadTaskSource(name, string(src)); err != nil {
-		log.Fatalf("compile: %v", err)
+		fmt.Fprintf(stderr, "hypertester: compile: %v\n", err)
+		return 2
 	}
 
 	if *dumpP4 {
-		fmt.Print(ht.GeneratedP4())
-		return
+		fmt.Fprint(stdout, ht.GeneratedP4())
+		return 0
 	}
 	if *dumpP416 {
-		fmt.Print(p4ir.PrintP416(ht.Program.P4))
-		return
+		fmt.Fprint(stdout, p4ir.PrintP416(ht.Program.P4))
+		return 0
 	}
 	if *resources {
-		fmt.Printf("resources (%% of switch.p4): %v\n", ht.Resources())
-		return
+		fmt.Fprintf(stdout, "resources (%% of switch.p4): %v\n", ht.Resources())
+		return 0
 	}
 
 	// Wire every port to its own instance of the chosen DUT.
@@ -99,44 +135,43 @@ func main() {
 		case "scantarget":
 			target = testbed.NewScanTarget(ht.Sim, fmt.Sprintf("net%d", i), g)
 			testbed.Connect(ht.Sim, ht.Port(i), target.Iface, testbed.DefaultCableDelay)
-		default:
-			log.Fatalf("unknown DUT kind %q", *dutKind)
 		}
 	}
 
 	if err := ht.Start(); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "hypertester: %v\n", err)
+		return 1
 	}
 	ht.RunFor(netsim.Duration(duration.Nanoseconds()) * netsim.Nanosecond)
 
-	fmt.Printf("task %q ran for %v of virtual time\n\n", name, *duration)
+	fmt.Fprintf(stdout, "task %q ran for %v of virtual time\n\n", name, *duration)
 	for _, tmpl := range ht.Program.Templates {
-		fmt.Printf("trigger %s: fired %d times\n", tmpl.Trigger.Name, ht.Sender.FiredCount(tmpl.ID))
+		fmt.Fprintf(stdout, "trigger %s: fired %d times\n", tmpl.Trigger.Name, ht.Sender.FiredCount(tmpl.ID))
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, rep := range ht.Reports() {
-		fmt.Printf("query %s (%s): %d matches, %d bytes\n", rep.Query, rep.Kind, rep.Matches, rep.Bytes)
+		fmt.Fprintf(stdout, "query %s (%s): %d matches, %d bytes\n", rep.Query, rep.Kind, rep.Matches, rep.Bytes)
 		if rep.Kind == "distinct" {
-			fmt.Printf("  distinct keys: %d\n", rep.Distinct)
+			fmt.Fprintf(stdout, "  distinct keys: %d\n", rep.Distinct)
 		}
 		if rep.DelaySamples > 0 {
-			fmt.Printf("  delay: mean %.1fns min %.1fns max %.1fns over %d samples\n",
+			fmt.Fprintf(stdout, "  delay: mean %.1fns min %.1fns max %.1fns over %d samples\n",
 				rep.DelayMeanNs, rep.DelayMinNs, rep.DelayMaxNs, rep.DelaySamples)
 		}
 		if len(rep.Results) > 0 && len(rep.Results) <= 10 {
 			for _, r := range rep.Results {
-				fmt.Printf("  key %v -> %d\n", r.Key, r.Value)
+				fmt.Fprintf(stdout, "  key %v -> %d\n", r.Key, r.Value)
 			}
 		} else if len(rep.Results) > 10 {
-			fmt.Printf("  (%d keys; first: %v -> %d)\n",
+			fmt.Fprintf(stdout, "  (%d keys; first: %v -> %d)\n",
 				len(rep.Results), rep.Results[0].Key, rep.Results[0].Value)
 		}
 	}
 	if *dutKind == "sink" {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		for i, s := range sinks {
 			if s != nil {
-				fmt.Printf("port %d sink: %.2f Gbps, %.2f Mpps\n",
+				fmt.Fprintf(stdout, "port %d sink: %.2f Gbps, %.2f Mpps\n",
 					i, s.ThroughputGbps(), s.RatePps()/1e6)
 			}
 		}
@@ -149,21 +184,106 @@ func main() {
 			}
 			f, err := os.Create(*pcapOut)
 			if err != nil {
-				log.Fatalf("pcap: %v", err)
+				fmt.Fprintf(stderr, "hypertester: pcap: %v\n", err)
+				return 1
 			}
 			defer f.Close()
 			if err := testbed.WritePcap(f, frames); err != nil {
-				log.Fatalf("pcap: %v", err)
+				fmt.Fprintf(stderr, "hypertester: pcap: %v\n", err)
+				return 1
 			}
-			fmt.Printf("wrote %d frames to %s\n", len(frames), *pcapOut)
+			fmt.Fprintf(stdout, "wrote %d frames to %s\n", len(frames), *pcapOut)
 		}
 	}
 	if farm != nil {
-		fmt.Printf("\nHTTP farm: %d handshakes, %d requests, %d closed\n",
+		fmt.Fprintf(stdout, "\nHTTP farm: %d handshakes, %d requests, %d closed\n",
 			farm.Handshakes, farm.Requests, farm.Closed)
 	}
 	if target != nil {
-		fmt.Printf("\nscan target: %d probes, %d SYN+ACK, %d RST\n",
+		fmt.Fprintf(stdout, "\nscan target: %d probes, %d SYN+ACK, %d RST\n",
 			target.ProbesSeen, target.SynAcksSent, target.RstsSent)
 	}
+	return 0
+}
+
+// parsePorts parses the -ports list, rejecting rates that would configure a
+// nonsense switch (non-positive, NaN, infinite).
+func parsePorts(s string) ([]float64, error) {
+	var rates []float64
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		g, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad port rate %q", p)
+		}
+		if math.IsNaN(g) || math.IsInf(g, 0) || g <= 0 {
+			return nil, fmt.Errorf("port rate %q must be a positive, finite Gbps value", p)
+		}
+		rates = append(rates, g)
+	}
+	return rates, nil
+}
+
+// validateTaskFlags rejects single-task invocations that would run a
+// nonsense simulation.
+func validateTaskFlags(dut string, d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("duration %v must be positive", d)
+	}
+	for _, k := range taskDUTKinds {
+		if k == dut {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown DUT kind %q (want one of %s)", dut, strings.Join(taskDUTKinds, ", "))
+}
+
+// runSuite loads and runs a scenario suite, printing per-scenario pass/fail
+// and optionally writing the machine-readable results file.
+func runSuite(path, resultsPath string, workers int, stdout, stderr io.Writer) int {
+	suite, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "hypertester: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "suite %q: %d scenarios", suite.Name, len(suite.Scenarios))
+	if workers > 1 {
+		fmt.Fprintf(stdout, " (parallel engine, %d workers)", workers)
+	}
+	fmt.Fprintln(stdout)
+
+	res := scenario.RunSuite(suite, workers)
+	for _, sc := range res.Scenarios {
+		verdict := "PASS"
+		if sc.Err != "" || !sc.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(stdout, "%-6s %s (%d/%d checks)\n", verdict, sc.Name, sc.Passed, sc.Passed+sc.Failed)
+		if sc.Err != "" {
+			fmt.Fprintf(stdout, "       error: %s\n", sc.Err)
+		}
+		for _, c := range sc.Checks {
+			if !c.Pass {
+				fmt.Fprintf(stdout, "       check %q: got %s, %s\n", c.Name, c.Got, c.Detail)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "suite %q: %d passed, %d failed\n", res.Suite, res.Passed, res.Failed)
+
+	if resultsPath != "" {
+		data, err := res.Encode()
+		if err != nil {
+			fmt.Fprintf(stderr, "hypertester: encode results: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(resultsPath, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "hypertester: write results: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "results written to %s\n", resultsPath)
+	}
+	if !res.Pass {
+		return 1
+	}
+	return 0
 }

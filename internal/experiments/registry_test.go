@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryMatchesPaperSpecs is the refactor's differential gate: running
+// the 18 paper experiments through the registry (Specs()) must produce
+// bit-identical rendered tables and headline metrics to running the
+// pre-refactor literal list (paperSpecs()) directly — on the sequential
+// engine and with SimWorkers=4.
+func TestRegistryMatchesPaperSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential run")
+	}
+	for _, workers := range []int{0, 4} {
+		cfg := Config{Quick: true, Seed: 1, SimWorkers: workers}
+		pre := Run(cfg, paperSpecs())
+		reg := Run(cfg, Specs())
+		if len(reg) < len(pre) {
+			t.Fatalf("SimWorkers=%d: registry ran %d experiments, pre-refactor list has %d",
+				workers, len(reg), len(pre))
+		}
+		// The paper experiments must be the registry's prefix, in paper order.
+		for i := range pre {
+			if pre[i].ID != reg[i].ID {
+				t.Fatalf("SimWorkers=%d: order diverged at %d: %s (pre-refactor) vs %s (registry)",
+					workers, i, pre[i].ID, reg[i].ID)
+			}
+			if p, r := pre[i].String(), reg[i].String(); p != r {
+				t.Errorf("SimWorkers=%d: %s: registry output diverges:\n--- pre-refactor\n%s\n--- registry\n%s",
+					workers, pre[i].ID, p, r)
+			}
+			pv, pu, perr := Headline(pre[i])
+			rv, ru, rerr := Headline(reg[i])
+			if perr != nil || rerr != nil {
+				t.Errorf("SimWorkers=%d: %s: headline errors: %v / %v", workers, pre[i].ID, perr, rerr)
+				continue
+			}
+			if pv != rv || pu != ru {
+				t.Errorf("SimWorkers=%d: %s: headline %v %s (pre-refactor) != %v %s (registry)",
+					workers, pre[i].ID, pv, pu, rv, ru)
+			}
+		}
+	}
+}
+
+// TestRegisterUnregister pins the registry contract: duplicate IDs are
+// rejected, empty specs are rejected, Unregister removes the spec and its
+// headline, and unknown Unregister IDs are a no-op.
+func TestRegisterUnregister(t *testing.T) {
+	fn := func(Config) *Result { return &Result{ID: "reg-test"} }
+	if err := Register(Spec{ID: "reg-test", Fn: fn}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	defer Unregister("reg-test")
+	if err := Register(Spec{ID: "reg-test", Fn: fn}); err == nil {
+		t.Error("duplicate ID did not error")
+	}
+	if err := Register(Spec{ID: "", Fn: fn}); err == nil {
+		t.Error("empty ID did not error")
+	}
+	if err := Register(Spec{ID: "no-fn"}); err == nil {
+		t.Error("nil Fn did not error")
+	}
+	if err := Register(Spec{ID: "Table 5", Fn: fn}); err == nil {
+		t.Error("shadowing a paper experiment did not error")
+	}
+
+	RegisterHeadline("reg-test", HeadlineSpec{0, 0, "units"})
+	found := false
+	for _, sp := range Specs() {
+		if sp.ID == "reg-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered spec missing from Specs()")
+	}
+	Unregister("reg-test")
+	for _, sp := range Specs() {
+		if sp.ID == "reg-test" {
+			t.Fatal("Unregister left the spec in Specs()")
+		}
+	}
+	if _, _, err := Headline(&Result{ID: "reg-test"}); err == nil {
+		t.Error("Unregister left the headline registered")
+	}
+	Unregister("reg-test") // unknown ID: must not panic
+	if err := Register(Spec{ID: "reg-test", Fn: fn}); err != nil {
+		t.Errorf("re-Register after Unregister: %v", err)
+	}
+}
+
+// TestRunRecoversPanics pins the bugfix: a panicking experiment must become
+// a named failure in its input-order slot — on the worker-pool path, the
+// inline path, and AllSequential — instead of crashing the whole suite.
+func TestRunRecoversPanics(t *testing.T) {
+	ok := func(id string) Spec {
+		return Spec{ID: id, Fn: func(Config) *Result {
+			return &Result{ID: id, Title: "ok"}
+		}}
+	}
+	specs := []Spec{
+		ok("first"),
+		{ID: "boom", Fn: func(Config) *Result { panic("synthetic failure") }},
+		ok("third"),
+		{ID: "nilres", Fn: func(Config) *Result { return nil }},
+	}
+	check := func(t *testing.T, in []Spec, out []*Result) {
+		t.Helper()
+		if len(out) != len(in) {
+			t.Fatalf("got %d results, want %d", len(out), len(in))
+		}
+		for i, r := range out {
+			if r == nil {
+				t.Fatalf("result %d is nil", i)
+			}
+			if r.ID != in[i].ID {
+				t.Errorf("result %d = %s, want %s (input order lost)", i, r.ID, in[i].ID)
+			}
+		}
+		if out[1].Title != "experiment failed" {
+			t.Errorf("panicking spec title = %q, want failure", out[1].Title)
+		}
+		if len(out[1].Notes) == 0 || !strings.Contains(out[1].Notes[0], "synthetic failure") {
+			t.Errorf("panic value not preserved in notes: %v", out[1].Notes)
+		}
+		if len(out) > 3 && out[3].Title != "experiment failed" {
+			t.Errorf("nil-result spec title = %q, want failure", out[3].Title)
+		}
+		if _, _, err := Headline(out[1]); err == nil {
+			t.Error("failed experiment produced a headline")
+		}
+	}
+	t.Run("pool", func(t *testing.T) { check(t, specs, Run(Config{Quick: true, Seed: 1}, specs)) })
+	// A 2-spec input on a multi-core box still uses the pool, but Run's
+	// workers<=1 fallback is what a single-CPU machine gets; exercise runSpec
+	// through Run either way with the panicking spec in slot 1.
+	t.Run("short", func(t *testing.T) { check(t, specs[:2], Run(Config{Quick: true, Seed: 1}, specs[:2])) })
+}
+
+// TestRunRecoversPanicsSequential covers AllSequential's recovery path via a
+// temporarily registered panicking experiment.
+func TestRunRecoversPanicsSequential(t *testing.T) {
+	if err := Register(Spec{ID: "seq-boom", Fn: func(Config) *Result { panic("seq failure") }}); err != nil {
+		t.Fatal(err)
+	}
+	defer Unregister("seq-boom")
+	// Run only the tail of the registry so this stays cheap: the panicking
+	// spec is last, preceded by one real (fast) experiment.
+	specs := Specs()
+	out := make([]*Result, 0, 2)
+	for _, sp := range specs {
+		if sp.ID == "Table 5" || sp.ID == "seq-boom" {
+			out = append(out, runSpec(Config{Quick: true, Seed: 1}, sp))
+		}
+	}
+	if len(out) != 2 {
+		t.Fatalf("expected 2 results, got %d", len(out))
+	}
+	if out[0].ID != "Table 5" || out[0].Title == "experiment failed" {
+		t.Errorf("real experiment failed: %+v", out[0])
+	}
+	if out[1].ID != "seq-boom" || out[1].Title != "experiment failed" {
+		t.Errorf("panicking experiment not recovered: %+v", out[1])
+	}
+}

@@ -14,8 +14,22 @@ type Spec struct {
 	Fn func(Config) *Result
 }
 
-// Specs returns every experiment in paper order.
-func Specs() []Spec {
+// The global experiment registry. The 18 paper experiments register at init
+// (in paper order); scenario suites loaded from files register alongside
+// them (internal/scenario.RegisterSuite), so one runner — worker pool, panic
+// containment, headline extraction — serves both. Registration is mutex-
+// guarded for test harnesses that register and unregister concurrently with
+// reads; the ordered slice keeps Specs() deterministic.
+var (
+	regMu    sync.RWMutex
+	regSpecs []Spec
+	regHeads = map[string]HeadlineSpec{}
+)
+
+// paperSpecs returns the 18 paper experiments in paper order — the exact
+// pre-registry Specs() list, kept verbatim as the reference the registry
+// differential test (TestRegistryMatchesPaperSpecs) compares against.
+func paperSpecs() []Spec {
 	return []Spec{
 		{"Table 5", Table5LoC},
 		{"Fig. 9", Fig9SinglePort},
@@ -38,12 +52,128 @@ func Specs() []Spec {
 	}
 }
 
+// paperHeadlines maps each paper experiment to its headline cell, in paper
+// order (a slice, not a map literal, so registration order is deterministic).
+var paperHeadlines = []struct {
+	ID string
+	HeadlineSpec
+}{
+	{"Table 5", HeadlineSpec{0, 0, "NTAPI-LoC"}},
+	{"Fig. 9", HeadlineSpec{0, 0, "Gbps-64B@100G"}},
+	{"Fig. 10", HeadlineSpec{-1, 0, "Gbps-aggregate"}},
+	{"Fig. 11", HeadlineSpec{1, 0, "ns-HT-MAE-1Mpps"}},
+	{"Fig. 12", HeadlineSpec{1, 0, "ns-MAE-1Mpps"}},
+	{"Fig. 13", HeadlineSpec{0, 0, "QQ-corr-normal"}},
+	{"Fig. 14", HeadlineSpec{0, 0, "ns-RTT-64B"}},
+	{"Fig. 15", HeadlineSpec{0, 0, "ns-mcast-64B"}},
+	{"Fig. 16", HeadlineSpec{4, 0, "Mbps-digest-256B"}},
+	{"Fig. 17", HeadlineSpec{-1, 0, "entries-16b"}},
+	{"Table 6", HeadlineSpec{2, 0, "USD-saved-per-Tbps"}},
+	{"Table 7", HeadlineSpec{-1, 5, "pct-SALU-reduce"}},
+	{"Table 8", HeadlineSpec{0, 0, "Gbps-testbed"}},
+	{"Fig. 18", HeadlineSpec{0, 0, "ns-HT-HW-mean"}},
+	{"Ablation A", HeadlineSpec{0, 0, "counter-err-keys"}},
+	{"Ablation B", HeadlineSpec{2, 0, "pct-onchip-0.75"}},
+	{"Ablation C", HeadlineSpec{2, 0, "amplification-x"}},
+	{"Case study", HeadlineSpec{1, 0, "handshakes-per-s"}},
+}
+
+func init() {
+	for _, sp := range paperSpecs() {
+		MustRegister(sp)
+	}
+	for _, h := range paperHeadlines {
+		RegisterHeadline(h.ID, h.HeadlineSpec)
+	}
+}
+
+// Register appends an experiment to the registry. IDs are unique: loading
+// the same scenario suite twice without unregistering is an error, not a
+// silent double run.
+func Register(sp Spec) error {
+	if sp.ID == "" || sp.Fn == nil {
+		return fmt.Errorf("experiments: Register needs an ID and an Fn")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, have := range regSpecs {
+		if have.ID == sp.ID {
+			return fmt.Errorf("experiments: %q already registered", sp.ID)
+		}
+	}
+	regSpecs = append(regSpecs, sp)
+	return nil
+}
+
+// MustRegister is Register for init-time wiring, where a duplicate is a bug.
+func MustRegister(sp Spec) {
+	if err := Register(sp); err != nil {
+		panic(err)
+	}
+}
+
+// Unregister removes an experiment (and its headline) by ID, so test
+// harnesses and suite reloads can re-register cleanly. Unknown IDs are a
+// no-op.
+func Unregister(id string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for i, sp := range regSpecs {
+		if sp.ID == id {
+			regSpecs = append(regSpecs[:i], regSpecs[i+1:]...)
+			break
+		}
+	}
+	delete(regHeads, id)
+}
+
+// RegisterHeadline declares where an experiment's headline metric lives in
+// its result table (see HeadlineSpec). Re-registration overwrites.
+func RegisterHeadline(id string, hs HeadlineSpec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	regHeads[id] = hs
+}
+
+// Specs returns every registered experiment in registration order — the 18
+// paper experiments first (paper order), then any registered scenarios.
+func Specs() []Spec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]Spec(nil), regSpecs...)
+}
+
+// runSpec executes one experiment, containing any panic as a named failure:
+// the suite keeps running, the panicking experiment reports a result whose
+// notes carry the panic value, and Headline() on that result errors (so a
+// crashed experiment can never masquerade as a measurement). The recovery
+// note deliberately omits the stack trace — results render bit-identically
+// across engines and worker counts, and goroutine stacks do not.
+func runSpec(cfg Config, sp Spec) (res *Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = &Result{
+				ID:    sp.ID,
+				Title: "experiment failed",
+				Notes: []string{fmt.Sprintf("PANIC: %v", p)},
+			}
+		}
+	}()
+	res = sp.Fn(cfg)
+	if res == nil {
+		res = &Result{ID: sp.ID, Title: "experiment failed",
+			Notes: []string{"experiment returned no result"}}
+	}
+	return res
+}
+
 // Run executes specs across a GOMAXPROCS-bounded worker pool and returns
 // results in input order regardless of completion order. Every experiment
 // builds its own netsim.Sim and derives every random stream from cfg.Seed
 // plus a component label, so no state is shared between workers and the
 // output is bit-identical to a sequential run (TestParallelDeterminism pins
-// this).
+// this). A panicking experiment fails alone (runSpec): its slot carries a
+// failure result and the rest of the suite completes.
 func Run(cfg Config, specs []Spec) []*Result {
 	out := make([]*Result, len(specs))
 	workers := runtime.GOMAXPROCS(0)
@@ -52,7 +182,7 @@ func Run(cfg Config, specs []Spec) []*Result {
 	}
 	if workers <= 1 {
 		for i, sp := range specs {
-			out[i] = sp.Fn(cfg)
+			out[i] = runSpec(cfg, sp)
 		}
 		return out
 	}
@@ -63,7 +193,7 @@ func Run(cfg Config, specs []Spec) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = specs[i].Fn(cfg)
+				out[i] = runSpec(cfg, specs[i])
 			}
 		}()
 	}
@@ -75,16 +205,17 @@ func Run(cfg Config, specs []Spec) []*Result {
 	return out
 }
 
-// All runs every experiment in paper order on the parallel runner.
+// All runs every registered experiment on the parallel runner.
 func All(cfg Config) []*Result { return Run(cfg, Specs()) }
 
-// AllSequential runs every experiment one after another on the calling
-// goroutine — the reference ordering for determinism regression tests.
+// AllSequential runs every registered experiment one after another on the
+// calling goroutine — the reference ordering for determinism regression
+// tests.
 func AllSequential(cfg Config) []*Result {
 	specs := Specs()
 	out := make([]*Result, len(specs))
 	for i, sp := range specs {
-		out[i] = sp.Fn(cfg)
+		out[i] = runSpec(cfg, sp)
 	}
 	return out
 }
@@ -97,36 +228,15 @@ type HeadlineSpec struct {
 	Unit     string
 }
 
-// headlines maps each experiment ID to its paper-facing headline cell. The
-// bench suite and cmd/htbench's BENCH_results.json both read from here, so
-// the two always agree on what each experiment's number of record is.
-var headlines = map[string]HeadlineSpec{
-	"Table 5":    {0, 0, "NTAPI-LoC"},
-	"Fig. 9":     {0, 0, "Gbps-64B@100G"},
-	"Fig. 10":    {-1, 0, "Gbps-aggregate"},
-	"Fig. 11":    {1, 0, "ns-HT-MAE-1Mpps"},
-	"Fig. 12":    {1, 0, "ns-MAE-1Mpps"},
-	"Fig. 13":    {0, 0, "QQ-corr-normal"},
-	"Fig. 14":    {0, 0, "ns-RTT-64B"},
-	"Fig. 15":    {0, 0, "ns-mcast-64B"},
-	"Fig. 16":    {4, 0, "Mbps-digest-256B"},
-	"Fig. 17":    {-1, 0, "entries-16b"},
-	"Table 6":    {2, 0, "USD-saved-per-Tbps"},
-	"Table 7":    {-1, 5, "pct-SALU-reduce"},
-	"Table 8":    {0, 0, "Gbps-testbed"},
-	"Fig. 18":    {0, 0, "ns-HT-HW-mean"},
-	"Ablation A": {0, 0, "counter-err-keys"},
-	"Ablation B": {2, 0, "pct-onchip-0.75"},
-	"Ablation C": {2, 0, "amplification-x"},
-	"Case study": {1, 0, "handshakes-per-s"},
-}
-
 // Headline extracts an experiment's headline metric. It returns an error —
 // rather than a silent zero — when the result has no such cell or the cell
 // does not start with a number, so a broken experiment cannot masquerade as
-// a real measurement.
+// a real measurement. The headline table is part of the registry: paper
+// experiments install theirs at init, scenarios via RegisterHeadline.
 func Headline(r *Result) (value float64, unit string, err error) {
-	spec, ok := headlines[r.ID]
+	regMu.RLock()
+	spec, ok := regHeads[r.ID]
+	regMu.RUnlock()
 	if !ok {
 		return 0, "", fmt.Errorf("experiments: no headline defined for %q", r.ID)
 	}

@@ -15,6 +15,7 @@ const (
 	LayerTCP
 	LayerUDP
 	LayerPayload
+	LayerIPv6Ext
 )
 
 func (t LayerType) String() string {
@@ -37,6 +38,8 @@ func (t LayerType) String() string {
 		return "udp"
 	case LayerPayload:
 		return "payload"
+	case LayerIPv6Ext:
+		return "ipv6ext"
 	}
 	return "none"
 }
@@ -51,6 +54,7 @@ type Stack struct {
 	ARP     ARP
 	IP4     IPv4
 	IP6     IPv6
+	IP6Ext  IPv6ExtChain
 	ICMP    ICMP
 	TCP     TCP
 	UDP     UDP
@@ -112,13 +116,6 @@ func (s *Stack) Decode(data []byte) error {
 		off += n
 		return s.decodeL4(s.IP4.Protocol, rest, off)
 	case EtherTypeIPv6:
-		// Only the fixed 40-byte header is modelled. When NextHeader is an
-		// extension header (hop-by-hop, routing, fragment, ...), decodeL4
-		// has no decoder for its protocol number and the whole extension
-		// chain — including any TCP/UDP segment behind it — lands in
-		// Payload. The switch pipeline therefore cannot match L4 fields of
-		// extension-headered IPv6 traffic; FuzzStackDecode pins that such
-		// frames still decode without error or panic.
 		n, err := s.IP6.DecodeFrom(rest)
 		if err != nil {
 			return err
@@ -130,7 +127,30 @@ func (s *Stack) Decode(data []byte) error {
 		}
 		rest = rest[n : n+l4len]
 		off += n
-		return s.decodeL4(s.IP6.NextHeader, rest, off)
+		next := s.IP6.NextHeader
+		if IsIPv6Ext(next) {
+			// Walk the extension chain (hop-by-hop, routing, fragment,
+			// destination options) so the TCP/UDP segment behind it is
+			// classified like any other; the chain's bytes stay in place
+			// and IP6Ext carries the summary. Bounded walk, and a header
+			// whose declared length runs past the buffer errors out.
+			en, err := s.IP6Ext.DecodeFrom(next, rest)
+			if err != nil {
+				return err
+			}
+			s.Decoded = append(s.Decoded, LayerIPv6Ext)
+			rest = rest[en:]
+			off += en
+			next = s.IP6Ext.Final
+			if s.IP6Ext.FragOffset != 0 {
+				// Non-first fragment: the bytes after the chain are a
+				// mid-stream slice of the original datagram, not an L4
+				// header.
+				s.setPayload(rest, off)
+				return nil
+			}
+		}
+		return s.decodeL4(next, rest, off)
 	}
 	// Unknown EtherType: remaining bytes are opaque payload.
 	s.setPayload(rest, off)

@@ -68,8 +68,8 @@ func FuzzStackDecode(f *testing.F) {
 	opts[EthernetLen] = 0x46 // IHL=6: one option word the frame doesn't have room for
 	f.Add(opts)
 
-	// IPv6: plain UDP, truncated fixed header, and a hop-by-hop extension
-	// header in front of TCP (decoded as payload; see Stack.Decode).
+	// IPv6: plain UDP, truncated fixed header, and extension-header chains
+	// in front of TCP (walked by Stack.Decode since the ext-chain fix).
 	ip6 := func(next uint8, payload []byte) []byte {
 		h := make([]byte, IPv6Len)
 		h[0] = 6 << 4
@@ -80,8 +80,44 @@ func FuzzStackDecode(f *testing.F) {
 	}
 	f.Add(ip6(IPProtoUDP, udp[EthernetLen+IPv4MinLen:]))
 	f.Add(ip6(IPProtoTCP, tcp[EthernetLen+IPv4MinLen:])[:EthernetLen+IPv6Len-2])
-	hbh := append([]byte{IPProtoTCP, 0, 0, 0, 0, 0, 0, 0}, tcp[EthernetLen+IPv4MinLen:]...)
-	f.Add(ip6(0 /* hop-by-hop */, hbh))
+	seg := tcp[EthernetLen+IPv4MinLen:]
+	ext := func(next uint8, extLen8 uint8) []byte {
+		e := make([]byte, (int(extLen8)+1)*8)
+		e[0] = next
+		e[1] = extLen8
+		return e
+	}
+	frag := func(next uint8, off uint16, more bool) []byte {
+		e := make([]byte, 8)
+		e[0] = next
+		binary.BigEndian.PutUint16(e[2:4], off<<3)
+		if more {
+			e[3] |= 1
+		}
+		binary.BigEndian.PutUint32(e[4:8], 0xdead)
+		return e
+	}
+	// Single hop-by-hop, a full four-header chain (hbh -> routing -> first
+	// fragment -> dest options -> TCP), and a no-next-header end.
+	f.Add(ip6(IPProtoHopByHop, append(ext(IPProtoTCP, 0), seg...)))
+	chain := ext(IPProtoIPv6Routing, 0)                           // hop-by-hop
+	chain = append(chain, ext(IPProtoIPv6Fragment, 0)...)         // routing
+	chain = append(chain, frag(IPProtoIPv6DestOpts, 0, false)...) // first fragment
+	chain = append(chain, ext(IPProtoTCP, 0)...)                  // dest options
+	f.Add(ip6(IPProtoHopByHop, append(chain, seg...)))
+	f.Add(ip6(IPProtoHopByHop, ext(IPProtoIPv6NoNext, 0)))
+	// Non-first fragment (offset != 0): no L4 header behind the chain.
+	f.Add(ip6(IPProtoIPv6Fragment, append(frag(IPProtoTCP, 5, true), seg...)))
+	// Lying HdrExtLen (declared length past the buffer) and a chain longer
+	// than the walk bound.
+	f.Add(ip6(IPProtoHopByHop, append([]byte{IPProtoTCP, 0xff}, seg...)))
+	long := []byte{}
+	for i := 0; i < MaxIPv6ExtHeaders+2; i++ {
+		long = append(long, ext(IPProtoHopByHop, 0)...)
+	}
+	f.Add(ip6(IPProtoHopByHop, append(long, seg...)))
+	// Truncated mid-chain: routing header cut off after its first byte.
+	f.Add(ip6(IPProtoIPv6Routing, []byte{IPProtoTCP}))
 
 	// TCP with a data offset pointing past the segment.
 	shortTCP := append([]byte(nil), tcp...)
@@ -133,11 +169,21 @@ func FuzzStackDecode(f *testing.F) {
 	})
 }
 
-// TestIPv6ExtensionHeaderAsPayload pins the documented modelling limit: an
-// IPv6 frame carrying a hop-by-hop extension header decodes cleanly, but the
-// extension chain and the TCP segment behind it are opaque payload — no TCP
-// layer is reported.
-func TestIPv6ExtensionHeaderAsPayload(t *testing.T) {
+// ip6ExtFrame assembles Ethernet + IPv6 + the given extension chain/L4 bytes.
+func ip6ExtFrame(next uint8, payload []byte) []byte {
+	h := make([]byte, IPv6Len)
+	h[0] = 6 << 4
+	binary.BigEndian.PutUint16(h[4:6], uint16(len(payload)))
+	h[6] = next
+	h[7] = 64
+	return fuzzFrame(EtherTypeIPv6, h, payload)
+}
+
+// TestIPv6ExtensionHeaderChain is the mutation-verified regression test for
+// the extension-header fix: TCP behind a hop-by-hop header (formerly opaque
+// payload — the pinned limitation this test replaces) is now classified, with
+// ports intact and the payload window positioned after the real TCP header.
+func TestIPv6ExtensionHeaderChain(t *testing.T) {
 	tcp, err := BuildTCP(TCPSpec{
 		SrcIP: MustIPv4("10.0.0.1"), DstIP: MustIPv4("10.0.0.2"),
 		SrcPort: 80, DstPort: 1024, Flags: 0x02, FrameLen: 64,
@@ -146,26 +192,132 @@ func TestIPv6ExtensionHeaderAsPayload(t *testing.T) {
 		t.Fatal(err)
 	}
 	seg := tcp[EthernetLen+IPv4MinLen:]
-	ext := append([]byte{IPProtoTCP, 0, 0, 0, 0, 0, 0, 0}, seg...)
-	h := make([]byte, IPv6Len)
-	h[0] = 6 << 4
-	binary.BigEndian.PutUint16(h[4:6], uint16(len(ext)))
-	h[6] = 0 // hop-by-hop options
-	h[7] = 64
-	frame := fuzzFrame(EtherTypeIPv6, h, ext)
+	hbh := append([]byte{IPProtoTCP, 0, 0, 0, 0, 0, 0, 0}, seg...)
+	frame := ip6ExtFrame(IPProtoHopByHop, hbh)
 
 	var s Stack
 	if err := s.Decode(frame); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if !s.Has(LayerIPv6) {
-		t.Fatal("ipv6 layer missing")
+	if !s.Has(LayerIPv6) || !s.Has(LayerIPv6Ext) {
+		t.Fatalf("ipv6/ext layers missing: %v", s.Decoded)
 	}
-	if s.Has(LayerTCP) {
-		t.Fatal("TCP behind an extension header must not be decoded (fixed-header model)")
+	if s.IP6Ext.Count != 1 || s.IP6Ext.Len != 8 || s.IP6Ext.Final != IPProtoTCP {
+		t.Fatalf("chain summary wrong: %+v", s.IP6Ext)
 	}
-	if !s.Has(LayerPayload) || s.PayloadOffset != EthernetLen+IPv6Len {
-		t.Fatalf("extension chain should be payload at offset %d, got %d",
-			EthernetLen+IPv6Len, s.PayloadOffset)
+	if !s.Has(LayerTCP) {
+		t.Fatalf("TCP behind a hop-by-hop header not decoded: %v", s.Decoded)
 	}
+	if s.TCP.SrcPort != 80 || s.TCP.DstPort != 1024 || s.TCP.Flags&TCPSyn == 0 {
+		t.Fatalf("TCP fields wrong: %+v", s.TCP)
+	}
+	wantOff := EthernetLen + IPv6Len + 8 + TCPMinLen
+	if s.Has(LayerPayload) && s.PayloadOffset != wantOff {
+		t.Fatalf("payload offset %d, want %d", s.PayloadOffset, wantOff)
+	}
+}
+
+// TestIPv6ExtensionHeaderFullChain walks all four modelled extension kinds
+// in one frame and checks the summary plus the UDP header behind them.
+func TestIPv6ExtensionHeaderFullChain(t *testing.T) {
+	udp, err := BuildUDP(UDPSpec{
+		SrcIP: MustIPv4("10.0.0.1"), DstIP: MustIPv4("10.0.0.2"),
+		SrcPort: 53, DstPort: 9999, FrameLen: 96,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := udp[EthernetLen+IPv4MinLen:]
+	chain := []byte{IPProtoIPv6Routing, 0, 0, 0, 0, 0, 0, 0} // hop-by-hop
+	chain = append(chain, IPProtoIPv6Fragment, 1, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0) // routing, HdrExtLen=1 (16 bytes)
+	chain = append(chain, IPProtoIPv6DestOpts, 0, 0, 0, 0, 0, 0, 1) // fragment, offset 0
+	chain = append(chain, IPProtoUDP, 0, 0, 0, 0, 0, 0, 0)          // dest options
+	frame := ip6ExtFrame(IPProtoHopByHop, append(chain, seg...))
+
+	var s Stack
+	if err := s.Decode(frame); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !s.Has(LayerIPv6Ext) || !s.Has(LayerUDP) {
+		t.Fatalf("layers missing: %v", s.Decoded)
+	}
+	c := s.IP6Ext
+	if c.Count != 4 || c.Len != len(chain) || c.Final != IPProtoUDP {
+		t.Fatalf("chain summary wrong: %+v (want count 4, len %d)", c, len(chain))
+	}
+	if !c.Fragmented || c.FragOffset != 0 || c.FragID != 1 {
+		t.Fatalf("fragment state wrong: %+v", c)
+	}
+	if s.UDP.SrcPort != 53 || s.UDP.DstPort != 9999 {
+		t.Fatalf("UDP ports wrong: %+v", s.UDP)
+	}
+}
+
+// TestIPv6ExtensionHeaderEdgeCases pins the failure modes of the chain walk:
+// non-first fragments yield payload (no mid-stream L4 decode), lying
+// HdrExtLen errors, over-long chains error, and a no-next-header terminator
+// ends cleanly.
+func TestIPv6ExtensionHeaderEdgeCases(t *testing.T) {
+	tcp, err := BuildTCP(TCPSpec{
+		SrcIP: MustIPv4("10.0.0.1"), DstIP: MustIPv4("10.0.0.2"),
+		SrcPort: 80, DstPort: 1024, Flags: 0x02, FrameLen: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := tcp[EthernetLen+IPv4MinLen:]
+
+	t.Run("non-first fragment", func(t *testing.T) {
+		fr := []byte{IPProtoTCP, 0, 0, 0, 0, 0, 0, 0}
+		binary.BigEndian.PutUint16(fr[2:4], 5<<3) // offset 5, more=0
+		frame := ip6ExtFrame(IPProtoIPv6Fragment, append(fr, seg...))
+		var s Stack
+		if err := s.Decode(frame); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if s.Has(LayerTCP) {
+			t.Fatal("decoded an L4 header out of a non-first fragment")
+		}
+		if !s.IP6Ext.Fragmented || s.IP6Ext.FragOffset != 5 {
+			t.Fatalf("fragment state wrong: %+v", s.IP6Ext)
+		}
+		if !s.Has(LayerPayload) || s.PayloadOffset != EthernetLen+IPv6Len+8 {
+			t.Fatalf("payload offset %d, want %d", s.PayloadOffset, EthernetLen+IPv6Len+8)
+		}
+	})
+
+	t.Run("lying HdrExtLen", func(t *testing.T) {
+		frame := ip6ExtFrame(IPProtoHopByHop, append([]byte{IPProtoTCP, 0xff}, seg...))
+		var s Stack
+		if err := s.Decode(frame); err == nil {
+			t.Fatal("HdrExtLen past the buffer did not error")
+		}
+		if s.Has(LayerTCP) || s.Has(LayerPayload) {
+			t.Fatalf("layers decoded past a lying length: %v", s.Decoded)
+		}
+	})
+
+	t.Run("over-long chain", func(t *testing.T) {
+		var chain []byte
+		for i := 0; i < MaxIPv6ExtHeaders+1; i++ {
+			chain = append(chain, IPProtoHopByHop, 0, 0, 0, 0, 0, 0, 0)
+		}
+		frame := ip6ExtFrame(IPProtoHopByHop, append(chain, seg...))
+		var s Stack
+		if err := s.Decode(frame); err == nil {
+			t.Fatalf("chain of %d headers did not error", MaxIPv6ExtHeaders+1)
+		}
+	})
+
+	t.Run("no next header", func(t *testing.T) {
+		frame := ip6ExtFrame(IPProtoHopByHop, []byte{IPProtoIPv6NoNext, 0, 0, 0, 0, 0, 0, 0})
+		var s Stack
+		if err := s.Decode(frame); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !s.Has(LayerIPv6Ext) || s.Has(LayerPayload) {
+			t.Fatalf("no-next-header frame decoded wrong: %v", s.Decoded)
+		}
+	})
 }

@@ -160,6 +160,92 @@ func (ip *IPv4) VerifyChecksum(hdr []byte) bool {
 	return foldChecksum(checksum(0, hdr[:IPv4MinLen])) == 0
 }
 
+// IPv6 extension-header protocol numbers the decoder walks, plus the
+// "no next header" terminator.
+const (
+	IPProtoHopByHop     uint8 = 0
+	IPProtoIPv6Routing  uint8 = 43
+	IPProtoIPv6Fragment uint8 = 44
+	IPProtoIPv6NoNext   uint8 = 59
+	IPProtoIPv6DestOpts uint8 = 60
+)
+
+// IsIPv6Ext reports whether proto is an extension header the decoder can
+// walk (hop-by-hop, routing, fragment, destination options). ESP/AH are not
+// modelled: they terminate the walk like any other unknown protocol.
+func IsIPv6Ext(proto uint8) bool {
+	switch proto {
+	case IPProtoHopByHop, IPProtoIPv6Routing, IPProtoIPv6Fragment, IPProtoIPv6DestOpts:
+		return true
+	}
+	return false
+}
+
+// MaxIPv6ExtHeaders bounds the extension-chain walk. Real stacks see at most
+// one of each kind (RFC 8200 §4.1); eight tolerates repeats without letting
+// a crafted frame turn the decoder into a long loop.
+const MaxIPv6ExtHeaders = 8
+
+// IPv6ExtChain summarises a walked IPv6 extension-header chain. The chain's
+// bytes stay in the frame (nothing is copied); the summary carries what the
+// pipeline needs: where the chain ends, which upper-layer protocol follows,
+// and fragmentation state.
+type IPv6ExtChain struct {
+	Count int   // extension headers walked
+	Len   int   // total chain length in bytes
+	Final uint8 // protocol number following the chain
+
+	// Fragment header state (valid when Fragmented).
+	Fragmented bool
+	FragOffset uint16 // in 8-byte units; non-zero means no L4 header follows
+	FragMore   bool
+	FragID     uint32
+}
+
+// DecodeFrom walks an extension chain whose first header has protocol number
+// first, returning the bytes consumed. It fails with ErrTooShort when a
+// header's declared length runs past the buffer (lying HdrExtLen) and with
+// ErrUnsupported when the chain exceeds MaxIPv6ExtHeaders.
+func (c *IPv6ExtChain) DecodeFrom(first uint8, data []byte) (int, error) {
+	*c = IPv6ExtChain{}
+	next := first
+	n := 0
+	for IsIPv6Ext(next) {
+		if c.Count >= MaxIPv6ExtHeaders {
+			return n, ErrUnsupported
+		}
+		rest := data[n:]
+		if next == IPProtoIPv6Fragment {
+			// Fixed 8 bytes: next, reserved, offset/flags, identification.
+			if len(rest) < 8 {
+				return n, ErrTooShort
+			}
+			c.Fragmented = true
+			c.FragOffset = binary.BigEndian.Uint16(rest[2:4]) >> 3
+			c.FragMore = rest[3]&1 != 0
+			c.FragID = binary.BigEndian.Uint32(rest[4:8])
+			next = rest[0]
+			n += 8
+		} else {
+			// Hop-by-hop, routing, destination options: next, HdrExtLen in
+			// 8-byte units not counting the first 8 bytes.
+			if len(rest) < 2 {
+				return n, ErrTooShort
+			}
+			l := (int(rest[1]) + 1) * 8
+			if len(rest) < l {
+				return n, ErrTooShort
+			}
+			next = rest[0]
+			n += l
+		}
+		c.Count++
+	}
+	c.Final = next
+	c.Len = n
+	return n, nil
+}
+
 // IPv6 is a fixed IPv6 header (no extension headers).
 type IPv6 struct {
 	TrafficClass uint8

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+)
+
+// TestStarterFileInSync pins that the committed example suite is exactly
+// EncodeSuite(Library()) — regenerate examples/suites/starter.json after
+// editing library.go (make suite does this check in CI).
+func TestStarterFileInSync(t *testing.T) {
+	want, err := EncodeSuite(Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("../../examples/suites/starter.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("examples/suites/starter.json is out of sync with scenario.Library(); regenerate it from EncodeSuite(Library())")
+	}
+}
+
+// TestPaperSmokeSuite runs the second committed example end to end: it
+// loads .nt program files from tasks/ (the file-reference path) and its
+// checks — including the byte-exact golden trace oracle — must pass on
+// both engines.
+func TestPaperSmokeSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the example suite twice")
+	}
+	suite, err := Load("../../examples/suites/paper-smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		res := RunSuite(suite, workers)
+		if !res.Pass {
+			for _, sc := range res.Scenarios {
+				if sc.Err != "" {
+					t.Errorf("workers=%d: %s: %s", workers, sc.Name, sc.Err)
+				}
+				for _, c := range sc.Checks {
+					if !c.Pass {
+						t.Errorf("workers=%d: %s: check %q failed: got %s, %s",
+							workers, sc.Name, c.Name, c.Got, c.Detail)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"github.com/hypertester/hypertester/internal/netproto"
+	"github.com/hypertester/hypertester/internal/netsim"
+	"github.com/hypertester/hypertester/internal/sketch"
+	"github.com/hypertester/hypertester/internal/testbed"
+)
+
+// HHSink is the heavy-hitter DUT: a counting sink that additionally tracks
+// exact per-flow packet counts and shadows every update into a Count-Min
+// sketch, so a scenario can assert the sketch's one-sided-error guarantee
+// (estimates never undercount) against ground truth — the comparison §5.2
+// makes when arguing for exact counter-based queries.
+type HHSink struct {
+	Sink *testbed.Sink
+
+	counts map[netproto.FlowKey]uint64
+	// order remembers first-seen flow order so statistics never range over
+	// the map (insertion order is deterministic; map order is not).
+	order []netproto.FlowKey
+	cm    *sketch.CountMin
+	stack netproto.Stack
+}
+
+// hhSketchDepth and hhSketchWidth size the Count-Min shadow: small enough
+// that skewed populations actually collide, so the overestimate metric is
+// exercised, large enough that totals stay meaningful.
+const (
+	hhSketchDepth = 4
+	hhSketchWidth = 512
+)
+
+// NewHHSink builds a heavy-hitter sink behind a fresh interface.
+func NewHHSink(sim *netsim.Sim, name string, gbps float64) *HHSink {
+	h := &HHSink{
+		Sink:   testbed.NewSink(sim, name, gbps),
+		counts: make(map[netproto.FlowKey]uint64),
+		cm:     sketch.NewCountMin(hhSketchDepth, hhSketchWidth),
+	}
+	h.Sink.OnPacket = h.observe
+	return h
+}
+
+func (h *HHSink) observe(pkt *netproto.Packet, _ netsim.Time) {
+	// The OnPacket hook owns the packet; release it once decoded.
+	defer pkt.Release()
+	if err := h.stack.Decode(pkt.Data); err != nil {
+		return
+	}
+	key, ok := netproto.FlowFromStack(&h.stack)
+	if !ok {
+		return
+	}
+	if _, seen := h.counts[key]; !seen {
+		h.order = append(h.order, key)
+	}
+	h.counts[key]++
+	kb := key.Bytes()
+	h.cm.Add(kb[:], 1)
+}
+
+// Reset clears flow state and the underlying sink counters (end of warmup).
+func (h *HHSink) Reset() {
+	h.Sink.Reset()
+	h.counts = make(map[netproto.FlowKey]uint64)
+	h.order = h.order[:0]
+	h.cm = sketch.NewCountMin(hhSketchDepth, hhSketchWidth)
+}
+
+// Stats summarizes the flow population against the Count-Min shadow.
+type HHStats struct {
+	Flows    int
+	Packets  uint64
+	TopCount uint64
+	TopFlow  netproto.FlowKey
+	// Underestimates counts flows whose sketch estimate fell below the
+	// exact count — always 0 if the sketch honours its guarantee.
+	Underestimates int
+	// OverestimateTotal sums (estimate - exact) across flows: the
+	// collision error a threshold check can bound.
+	OverestimateTotal uint64
+}
+
+// Stats walks flows in first-seen order (deterministic across engines: the
+// LP engine replays the sequential per-device event order).
+func (h *HHSink) Stats() HHStats {
+	var st HHStats
+	st.Flows = len(h.order)
+	for _, key := range h.order {
+		exact := h.counts[key]
+		st.Packets += exact
+		if exact > st.TopCount {
+			st.TopCount = exact
+			st.TopFlow = key
+		}
+		kb := key.Bytes()
+		est := h.cm.Estimate(kb[:])
+		if est < exact {
+			st.Underestimates++
+		} else {
+			st.OverestimateTotal += est - exact
+		}
+	}
+	return st
+}

@@ -1,0 +1,165 @@
+package scenario
+
+// Library returns the built-in starter suite: four scenarios past the
+// paper's own evaluation, each deterministic on both engines. The committed
+// examples/suites/starter.json is EncodeSuite(Library()) verbatim — a test
+// keeps them in sync — so the file doubles as the format's reference
+// document.
+func Library() *Suite {
+	return &Suite{
+		Name: "starter",
+		Scenarios: []*Scenario{
+			incastMicroburst(),
+			synFlood443(),
+			zipfHeavyHitter(),
+			httpFloodBurst(),
+		},
+	}
+}
+
+// incastMicroburst oversubscribes a slow port: one line-rate 64B template
+// multicasts onto a 100G port and a 25G port, so the traffic manager's
+// queue toward the slow port overflows — the classic incast/microburst
+// storm. Checks pin near-line-rate delivery on the fast port, rate capping
+// on the slow one, and that the overload actually dropped frames.
+func incastMicroburst() *Scenario {
+	return &Scenario{
+		Name:  "incast-microburst",
+		Title: "Microburst storm into an oversubscribed 25G port",
+		Topology: Topology{
+			Ports: []float64{100, 25},
+			DUT:   DUTSink,
+		},
+		Program: Program{
+			Name: "incast",
+			Source: `
+T1 = trigger()
+    .set([dip, sip, proto, dport, sport], [9.9.9.9, 1.1.0.1, udp, 1, 1])
+    .set(length, 64)
+    .set(port, [0, 1])
+`,
+		},
+		Traffic: Traffic{WarmupUs: 20, WindowUs: 50, Seed: 1},
+		Checks: []Check{
+			{Name: "fast port near line rate", Kind: CheckThreshold, Metric: "sink0.gbps", Op: ">=", Value: 90},
+			{Name: "slow port capped at 25G", Kind: CheckRange, Metric: "sink1.gbps", Min: 20, Max: 26},
+			{Name: "overload drops frames", Kind: CheckThreshold, Metric: "port1.tx_drops", Op: ">", Value: 0},
+			{Name: "trace recorded", Kind: CheckThreshold, Metric: "trace.records", Op: ">", Value: 0},
+		},
+	}
+}
+
+// synFlood443 is the SYN-flood variant beyond Table 8: HTTPS port, a /16 of
+// spoofed sources, and — unlike the paper's task — a sent-traffic query
+// totalling flood bytes, so the check can cross-validate the query counter
+// against the sink's byte count.
+func synFlood443() *Scenario {
+	return &Scenario{
+		Name:  "synflood-443",
+		Title: "SYN flood on 443 from a spoofed /16 (Table 8 variant)",
+		Topology: Topology{
+			Ports: []float64{100},
+			DUT:   DUTSink,
+		},
+		Program: Program{
+			Name: "synflood443",
+			Source: `
+T1 = trigger()
+    .set([dip, dport, proto, flag], [9.9.9.9, 443, tcp, SYN])
+    .set(sip, range(3232235520, 3232301055, 1))
+    .set(sport, range(1024, 65535, 1))
+    .set(port, 0)
+Q1 = query(T1).map(p -> (pkt_len)).reduce(func=sum)
+`,
+		},
+		Traffic: Traffic{WarmupUs: 15, WindowUs: 40, Seed: 1},
+		Checks: []Check{
+			{Name: "flood near line rate", Kind: CheckThreshold, Metric: "sink0.gbps", Op: ">=", Value: 90},
+			{Name: "query observed the flood", Kind: CheckThreshold, Metric: "query.Q1.matches", Op: ">", Value: 1000},
+			{Name: "nothing dropped at 100G", Kind: CheckThreshold, Metric: "port0.tx_drops", Op: "==", Value: 0},
+		},
+	}
+}
+
+// zipfHeavyHitter drives a Zipf-style skewed flow population (exponential
+// source-port distribution — NTAPI's random() offers N and E) into the
+// heavy-hitter sink, which counts flows exactly and shadows them into a
+// Count-Min sketch. The golden check pins the sketch's defining guarantee,
+// zero underestimates, byte-exactly.
+func zipfHeavyHitter() *Scenario {
+	return &Scenario{
+		Name:  "zipf-heavy-hitter",
+		Title: "Skewed flow population vs Count-Min ground truth",
+		Topology: Topology{
+			Ports: []float64{100},
+			DUT:   DUTHHSink,
+		},
+		Program: Program{
+			Name: "zipfhh",
+			Source: `
+T1 = trigger()
+    .set([dip, sip, proto, dport], [9.9.9.9, 1.1.0.1, udp, 80])
+    .set(sport, random('E', 2000, 0, 16))
+    .set(interval, 100ns)
+    .set(port, 0)
+`,
+		},
+		Traffic: Traffic{WarmupUs: 20, WindowUs: 300, Seed: 7},
+		Checks: []Check{
+			{Name: "sketch never undercounts", Kind: CheckGolden, Metric: "hh0.underestimates", Want: "0"},
+			{Name: "population is wide", Kind: CheckThreshold, Metric: "hh0.flows", Op: ">=", Value: 100},
+			{Name: "a heavy hitter emerges", Kind: CheckThreshold, Metric: "hh0.top_count", Op: ">=", Value: 10},
+			{Name: "skew: top flow beats the mean", Kind: CheckThreshold, Metric: "hh0.top_count", Op: ">", Value: 3},
+		},
+	}
+}
+
+// httpFloodBurst replays the §5.4 stateless web workflow as a burst flood:
+// SYNs at 5us intervals (2x the case study's client rate) against the
+// HTTP server farm, full handshake + GET + response lifecycle. Checks
+// assert the farm actually served load and that the tester's SYN+ACK query
+// saw the handshakes.
+func httpFloodBurst() *Scenario {
+	return &Scenario{
+		Name:  "http-flood-burst",
+		Title: "Bursty HTTP flood against the server farm DUT",
+		Topology: Topology{
+			Ports: []float64{100},
+			DUT:   DUTHTTPFarm,
+			// The §5.4 loop needs a realistic RTT contribution.
+			CableDelayNs: 5,
+		},
+		Program: Program{
+			Name: "httpflood",
+			Source: `
+T1 = trigger()
+    .set([dip, dport, proto, flag, seq_no], [9.9.9.9, 80, tcp, SYN, 1])
+    .set(sip, 1.1.0.1)
+    .set(sport, range(1024, 33791, 1))
+    .set(interval, 5us)
+    .set(port, 0)
+Q1 = query().filter(tcp_flag == SYN+ACK)
+T2 = trigger(Q1)
+    .set([dip, sip, dport, sport], [Q1.sip, Q1.dip, Q1.sport, Q1.dport])
+    .set([proto, flag], [tcp, ACK])
+    .set([seq_no, ack_no], [Q1.ack_no, Q1.seq_no + 1])
+Q2 = query().filter(tcp_flag == SYN+ACK)
+T3 = trigger(Q2)
+    .set([dip, sip, dport, sport], [Q2.sip, Q2.dip, Q2.sport, Q2.dport])
+    .set([proto, flag], [tcp, PSH+ACK])
+    .set([seq_no, ack_no], [Q2.ack_no, Q2.seq_no + 1])
+    .set(length, 78)
+    .set(payload, "GET index.html")
+Q5 = query().filter(tcp_flag == SYN+ACK).reduce(func=sum)
+`,
+		},
+		Traffic: Traffic{WindowUs: 2000, Seed: 3},
+		Checks: []Check{
+			{Name: "farm saw the flood", Kind: CheckThreshold, Metric: "httpfarm0.syn_received", Op: ">=", Value: 300},
+			{Name: "handshakes completed", Kind: CheckThreshold, Metric: "httpfarm0.handshakes", Op: ">=", Value: 100},
+			{Name: "requests served", Kind: CheckThreshold, Metric: "httpfarm0.requests", Op: ">=", Value: 100},
+			{Name: "responses sent", Kind: CheckThreshold, Metric: "httpfarm0.data_sent", Op: ">=", Value: 500},
+			{Name: "tester matched SYN+ACKs", Kind: CheckThreshold, Metric: "query.Q1.matches", Op: ">=", Value: 100},
+		},
+	}
+}

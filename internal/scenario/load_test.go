@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const minimalScenario = `{
+      "name": "one",
+      "topology": {"ports": [100], "dut": "sink"},
+      "program": {"source": "T1 = trigger().set(port, 0)\n"},
+      "traffic": {"window_us": 10}
+    }`
+
+// TestParseErrors covers the loader's rejection paths; every parse-level
+// error must carry a file:line:col location.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		data     string
+		want     string
+		wantLine bool
+	}{
+		{"syntax error", "{\n  \"name\": \"x\",,\n}", "invalid character", true},
+		{"wrong type", "{\n  \"name\": 42\n}", "cannot unmarshal number", true},
+		{"unknown field", "{\n  \"name\": \"x\",\n  \"scenarioz\": []\n}", "unknown field", true},
+		{"trailing content", `{"name": "x", "scenarios": [` + minimalScenario + `]} {"again": 1}`, "trailing content", true},
+		{"no name", `{"scenarios": [` + minimalScenario + `]}`, "no name", false},
+		{"no scenarios", `{"name": "x"}`, "declares no scenarios", false},
+		{"invalid scenario", `{"name": "x", "scenarios": [{"name": "bad"}]}`, "at least one port", false},
+		{"unknown check kind", `{"name": "x", "scenarios": [{
+		      "name": "one",
+		      "topology": {"ports": [100], "dut": "sink"},
+		      "program": {"source": "T1 = trigger().set(port, 0)\n"},
+		      "traffic": {"window_us": 10},
+		      "checks": [{"kind": "vibes", "metric": "m"}]
+		    }]}`, "unknown check kind", false},
+		{"duplicate names", `{"name": "x", "scenarios": [` + minimalScenario + `, ` + minimalScenario + `]}`, "duplicate scenario name", false},
+		{"missing program file", `{"name": "x", "scenarios": [{
+		      "name": "one",
+		      "topology": {"ports": [100], "dut": "sink"},
+		      "program": {"file": "no-such-task.nt"},
+		      "traffic": {"window_us": 10}
+		    }]}`, "no-such-task.nt", false},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.data), "suite.json", t.TempDir())
+		if err == nil {
+			t.Errorf("%s: not rejected", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		if c.wantLine && !strings.Contains(err.Error(), "suite.json:") {
+			t.Errorf("%s: error %q carries no file:line location", c.name, err)
+		}
+	}
+
+	// A parse error's line:col must point at the offending line.
+	_, err := Parse([]byte("{\n  \"name\": \"x\",,\n}"), "suite.json", "")
+	if err == nil || !strings.Contains(err.Error(), "suite.json:2:") {
+		t.Errorf("syntax error located at %v, want line 2", err)
+	}
+}
+
+// TestLoadResolvesProgramFiles pins .nt file resolution relative to the
+// suite file's directory, including multi-line array sources.
+func TestLoadResolvesProgramFiles(t *testing.T) {
+	dir := t.TempDir()
+	task := "T1 = trigger().set(port, 0)\n"
+	if err := os.WriteFile(filepath.Join(dir, "task.nt"), []byte(task), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	suite := `{"name": "files", "scenarios": [{
+	      "name": "from-file",
+	      "topology": {"ports": [100], "dut": "sink"},
+	      "program": {"file": "task.nt"},
+	      "traffic": {"window_us": 10}
+	    }, {
+	      "name": "from-lines",
+	      "topology": {"ports": [100], "dut": "sink"},
+	      "program": {"source": ["T1 = trigger()", "    .set(port, 0)"]},
+	      "traffic": {"window_us": 10}
+	    }]}`
+	path := filepath.Join(dir, "suite.json")
+	if err := os.WriteFile(path, []byte(suite), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(s.Scenarios[0].Program.Source); got != task {
+		t.Errorf("file source = %q, want %q", got, task)
+	}
+	if s.Scenarios[0].Program.Name != "task.nt" {
+		t.Errorf("program name = %q, want the file name", s.Scenarios[0].Program.Name)
+	}
+	if got := string(s.Scenarios[1].Program.Source); got != "T1 = trigger()\n    .set(port, 0)\n" {
+		t.Errorf("line-array source = %q", got)
+	}
+
+	// File references must be rejected when no base directory is allowed.
+	if _, err := Parse([]byte(suite), "inline", ""); err == nil ||
+		!strings.Contains(err.Error(), "not allowed") {
+		t.Errorf("dirless file reference: %v", err)
+	}
+}
+
+// TestEncodeRoundTrip pins that EncodeSuite output re-parses to the same
+// suite — the property the committed starter file relies on.
+func TestEncodeRoundTrip(t *testing.T) {
+	lib := Library()
+	data, err := EncodeSuite(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data, "encoded", "")
+	if err != nil {
+		t.Fatalf("encoded library does not re-parse: %v", err)
+	}
+	if len(back.Scenarios) != len(lib.Scenarios) {
+		t.Fatalf("round trip lost scenarios: %d vs %d", len(back.Scenarios), len(lib.Scenarios))
+	}
+	again, err := EncodeSuite(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Error("encode → parse → encode is not a fixed point")
+	}
+}

@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"github.com/hypertester/hypertester/internal/experiments"
+)
+
+// RegisterSuite installs every scenario of a suite into the experiments
+// registry, next to the 18 paper reproductions: experiments.All then runs
+// paper figures and declared scenarios through one pool, and each scenario
+// exposes its check tally as the headline metric ("N of M passed" → N,
+// unit "checks-passed"). Registration is all-or-nothing: on a duplicate
+// name, already-installed scenarios are rolled back.
+func RegisterSuite(suite *Suite) error {
+	var done []string
+	for _, sc := range suite.Scenarios {
+		sc := sc
+		id := "scenario/" + sc.Name
+		err := experiments.Register(experiments.Spec{
+			ID: id,
+			Fn: func(cfg experiments.Config) *experiments.Result {
+				r, err := Run(sc, cfg.SimWorkers)
+				if err != nil {
+					r = &RunResult{Name: sc.Name, Title: sc.Title, Err: err.Error()}
+				}
+				return r.Table()
+			},
+		})
+		if err != nil {
+			for _, d := range done {
+				experiments.Unregister(d)
+			}
+			return err
+		}
+		// Headline = the tally row's leading number (checks passed).
+		experiments.RegisterHeadline(id, experiments.HeadlineSpec{Row: -1, Col: 0, Unit: "checks-passed"})
+		done = append(done, id)
+	}
+	return nil
+}
+
+// UnregisterSuite removes a suite's scenarios from the registry.
+func UnregisterSuite(suite *Suite) {
+	for _, sc := range suite.Scenarios {
+		experiments.Unregister("scenario/" + sc.Name)
+	}
+}

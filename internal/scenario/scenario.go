@@ -1,0 +1,219 @@
+// Package scenario is the declarative layer over the simulated testbed: a
+// Scenario names a topology (ports, DUT kind, link delay, engine workers),
+// an NTAPI program (inline source or a .nt file), a traffic window, and a
+// list of checks evaluated against the metrics the run observed. Suites of
+// scenarios load from stdlib-JSON files (Load), run on the experiments
+// worker pool with per-scenario panic containment (RunSuite), and register
+// into the experiments registry next to the 18 paper reproductions
+// (RegisterSuite) — the paper's §4 pitch, that one switch program model
+// drives arbitrary testing tasks, expressed as data instead of Go.
+//
+// # Determinism contract
+//
+// Everything a check can observe is engine-invariant: switch port counters,
+// template fired counts, query reports, DUT statistics, and the SHA-256 of
+// the canonical packet trace are bit-identical between the sequential
+// engine and the parallel LP engine at any worker count (DESIGN.md §10).
+// Metrics are carried as an ordered list, never ranged out of a map, so a
+// rendered scenario result is byte-stable too.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// DUT kinds a topology can name. Each tester port gets its own device
+// instance on its own logical process.
+const (
+	DUTSink       = "sink"       // counting sink (throughput/rate checks)
+	DUTReflector  = "reflector"  // bounces frames back (delay loops)
+	DUTHTTPFarm   = "httpfarm"   // TCP/HTTP server farm (web testing)
+	DUTScanTarget = "scantarget" // emulated IPv4 space (scanning)
+	DUTHHSink     = "hhsink"     // per-flow counting sink + Count-Min shadow
+)
+
+// dutKinds lists the valid kinds for error messages, in doc order.
+var dutKinds = []string{DUTSink, DUTReflector, DUTHTTPFarm, DUTScanTarget, DUTHHSink}
+
+// KnownDUT reports whether kind names a device this package can build.
+func KnownDUT(kind string) bool {
+	for _, k := range dutKinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// DUTKinds returns the valid -dut / topology kinds, for CLI usage text.
+func DUTKinds() []string { return append([]string(nil), dutKinds...) }
+
+// Topology declares the testbed a scenario runs on: a HyperTester switch
+// with len(Ports) front-panel ports, each cabled to its own DUT instance.
+type Topology struct {
+	// Ports lists front-panel port rates in Gbps (index = port ID).
+	Ports []float64 `json:"ports"`
+	// DUT names the device kind behind every port (see DUT constants).
+	DUT string `json:"dut"`
+	// DUTGbps overrides the DUT-side line rate; 0 means match the port.
+	DUTGbps float64 `json:"dut_gbps,omitempty"`
+	// CableDelayNs is the cable propagation delay in nanoseconds.
+	CableDelayNs float64 `json:"cable_delay_ns,omitempty"`
+	// SimWorkers > 1 runs the topology on the parallel LP engine. The
+	// suite runner's config can override it; results are identical either
+	// way.
+	SimWorkers int `json:"sim_workers,omitempty"`
+}
+
+// Program names the NTAPI task the tester loads: inline Source, or a .nt
+// File that the suite loader resolves (relative to the suite file) and
+// reads into Source, so a validated scenario never touches the filesystem.
+type Program struct {
+	Name   string `json:"name,omitempty"`
+	Source Source `json:"source,omitempty"`
+	File   string `json:"file,omitempty"`
+}
+
+// Source is NTAPI program text. In a suite file it may be written as one
+// JSON string or as an array of lines (JSON has no multiline strings);
+// either way it round-trips as the joined text.
+type Source string
+
+// UnmarshalJSON accepts a string or an array of line strings.
+func (s *Source) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '[' {
+		var lines []string
+		if err := json.Unmarshal(b, &lines); err != nil {
+			return err
+		}
+		*s = Source(strings.Join(lines, "\n") + "\n")
+		return nil
+	}
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	*s = Source(str)
+	return nil
+}
+
+// Traffic bounds the run: a warm-up that is excluded from sink statistics,
+// then the measurement window checks observe.
+type Traffic struct {
+	WarmupUs float64 `json:"warmup_us,omitempty"`
+	WindowUs float64 `json:"window_us"`
+	// Seed drives all of the run's randomness (templates, DUT jitter).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Check kinds.
+const (
+	CheckThreshold = "threshold" // numeric metric compared with Op/Value
+	CheckRange     = "range"     // numeric metric inside [Min, Max]
+	CheckGolden    = "golden"    // metric's canonical text == Want, byte-exact
+)
+
+// Check is one assertion over the run's metrics.
+type Check struct {
+	// Name labels the check in reports; defaults to "<kind> <metric>".
+	Name string `json:"name,omitempty"`
+	// Kind is one of the Check constants.
+	Kind string `json:"kind"`
+	// Metric names the observed value (see Run's metric catalogue).
+	Metric string `json:"metric"`
+	// Op and Value parameterize threshold checks. Op is one of
+	// >=, <=, >, <, ==, != (default >=).
+	Op    string  `json:"op,omitempty"`
+	Value float64 `json:"value,omitempty"`
+	// Min and Max bound range checks (inclusive).
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// Want is the golden text a golden check compares against.
+	Want string `json:"want,omitempty"`
+}
+
+// Label returns the check's display name.
+func (c Check) Label() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.Kind + " " + c.Metric
+}
+
+// Scenario is one declarative test: topology + program + traffic + checks.
+type Scenario struct {
+	Name     string   `json:"name"`
+	Title    string   `json:"title,omitempty"`
+	Topology Topology `json:"topology"`
+	Program  Program  `json:"program"`
+	Traffic  Traffic  `json:"traffic"`
+	Checks   []Check  `json:"checks,omitempty"`
+}
+
+// Validate rejects scenarios that would build a nonsense testbed, so every
+// error surfaces before any simulation runs.
+func (s *Scenario) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if len(s.Topology.Ports) == 0 {
+		return fail("topology needs at least one port")
+	}
+	for i, g := range s.Topology.Ports {
+		if !(g > 0) { // catches NaN too
+			return fail("port %d rate %v Gbps is not positive", i, g)
+		}
+	}
+	if s.Topology.DUTGbps < 0 || s.Topology.DUTGbps != s.Topology.DUTGbps {
+		return fail("dut_gbps %v is invalid", s.Topology.DUTGbps)
+	}
+	if !KnownDUT(s.Topology.DUT) {
+		return fail("unknown dut kind %q (want one of %s)",
+			s.Topology.DUT, strings.Join(dutKinds, ", "))
+	}
+	if s.Topology.CableDelayNs < 0 || s.Topology.CableDelayNs != s.Topology.CableDelayNs {
+		return fail("cable_delay_ns %v is invalid", s.Topology.CableDelayNs)
+	}
+	if s.Program.Source == "" && s.Program.File == "" {
+		return fail("program needs inline source or a file")
+	}
+	if s.Program.Source != "" && s.Program.File != "" {
+		return fail("program has both inline source and a file; pick one")
+	}
+	if !(s.Traffic.WindowUs > 0) {
+		return fail("traffic window %v us is not positive", s.Traffic.WindowUs)
+	}
+	if s.Traffic.WarmupUs < 0 || s.Traffic.WarmupUs != s.Traffic.WarmupUs {
+		return fail("traffic warmup %v us is invalid", s.Traffic.WarmupUs)
+	}
+	for i, c := range s.Checks {
+		if c.Metric == "" {
+			return fail("check %d (%s) names no metric", i, c.Label())
+		}
+		switch c.Kind {
+		case CheckThreshold:
+			switch c.Op {
+			case "", ">=", "<=", ">", "<", "==", "!=":
+			default:
+				return fail("check %d (%s): unknown op %q", i, c.Label(), c.Op)
+			}
+		case CheckRange:
+			if c.Min > c.Max {
+				return fail("check %d (%s): min %v > max %v", i, c.Label(), c.Min, c.Max)
+			}
+		case CheckGolden:
+			if c.Want == "" {
+				return fail("check %d (%s): golden check needs want", i, c.Label())
+			}
+		default:
+			return fail("check %d (%s): unknown check kind %q (want %s, %s or %s)",
+				i, c.Label(), c.Kind, CheckThreshold, CheckRange, CheckGolden)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/hypertester/hypertester/internal/experiments"
+)
+
+// quickScenario is a cheap single-port scenario for runner-level tests.
+func quickScenario(name string, checks []Check) *Scenario {
+	return &Scenario{
+		Name:     name,
+		Topology: Topology{Ports: []float64{100}, DUT: DUTSink},
+		Program: Program{Source: `
+T1 = trigger()
+    .set([dip, sip, proto, dport, sport], [9.9.9.9, 1.1.0.1, udp, 1, 1])
+    .set(length, 64)
+    .set(port, 0)
+`},
+		Traffic: Traffic{WarmupUs: 5, WindowUs: 10, Seed: 1},
+		Checks:  checks,
+	}
+}
+
+// TestRunSuite covers the suite runner end to end: passing checks, failing
+// checks, and a scenario whose program does not compile — all reported in
+// input order, none aborting the suite.
+func TestRunSuite(t *testing.T) {
+	bad := quickScenario("wont-compile", nil)
+	bad.Program.Source = "T1 = trigger(.set(port, 0)\n"
+	suite := &Suite{Name: "mixed", Scenarios: []*Scenario{
+		quickScenario("passes", []Check{
+			{Kind: CheckThreshold, Metric: "sink0.rx_packets", Op: ">", Value: 0},
+		}),
+		quickScenario("fails", []Check{
+			{Kind: CheckThreshold, Metric: "sink0.rx_packets", Op: "<", Value: 0},
+		}),
+		bad,
+	}}
+	res := RunSuite(suite, 0)
+	if res.Pass || res.Passed != 1 || res.Failed != 2 {
+		t.Fatalf("suite tally = pass=%v %d/%d, want fail 1/2", res.Pass, res.Passed, res.Failed)
+	}
+	if len(res.Scenarios) != 3 {
+		t.Fatalf("got %d scenario results", len(res.Scenarios))
+	}
+	for i, want := range []string{"passes", "fails", "wont-compile"} {
+		if res.Scenarios[i].Name != want {
+			t.Errorf("result %d = %s, want %s (input order lost)", i, res.Scenarios[i].Name, want)
+		}
+	}
+	if !res.Scenarios[0].Pass || res.Scenarios[1].Pass {
+		t.Errorf("check verdicts wrong: %+v %+v", res.Scenarios[0], res.Scenarios[1])
+	}
+	if res.Scenarios[2].Err == "" {
+		t.Errorf("compile failure not reported: %+v", res.Scenarios[2])
+	}
+
+	// The result must round-trip through its machine-readable encoding.
+	data, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SuiteResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("results file does not re-parse: %v", err)
+	}
+	if back.Passed != 1 || back.Failed != 2 || len(back.Scenarios) != 3 {
+		t.Errorf("round-tripped tally diverges: %+v", back)
+	}
+}
+
+// TestSuiteTableHeadline pins the rendered scenario table: a tally row
+// whose first cell parses as the experiments headline.
+func TestSuiteTableHeadline(t *testing.T) {
+	r := &RunResult{
+		Name:   "x",
+		Passed: 2,
+		Failed: 1,
+		Checks: []CheckResult{
+			{Name: "a", Pass: true, Got: "1"},
+			{Name: "b", Pass: true, Got: "2"},
+			{Name: "c", Pass: false, Got: "3", Detail: "want rate >= 9"},
+		},
+	}
+	tbl := r.Table()
+	if got := tbl.Rows[len(tbl.Rows)-1].Values[0]; got != "2 of 3 passed" {
+		t.Fatalf("tally cell = %q", got)
+	}
+	if !strings.Contains(tbl.Rows[2].Values[0], "FAIL (want rate >= 9)") {
+		t.Errorf("failing row = %q", tbl.Rows[2].Values[0])
+	}
+
+	experiments.RegisterHeadline("scenario/x", experiments.HeadlineSpec{Row: -1, Col: 0, Unit: "checks-passed"})
+	defer experiments.Unregister("scenario/x")
+	v, unit, err := experiments.Headline(tbl)
+	if err != nil || v != 2 || unit != "checks-passed" {
+		t.Errorf("headline = %v %s (%v), want 2 checks-passed", v, unit, err)
+	}
+}
+
+// TestRegisterSuiteBridge pins the registry integration: registered
+// scenarios appear in experiments.Specs, run through the experiments
+// runner, and roll back cleanly on duplicate names.
+func TestRegisterSuiteBridge(t *testing.T) {
+	suite := &Suite{Name: "bridge", Scenarios: []*Scenario{
+		quickScenario("bridge-a", []Check{
+			{Kind: CheckThreshold, Metric: "sink0.rx_packets", Op: ">", Value: 0},
+		}),
+	}}
+	if err := RegisterSuite(suite); err != nil {
+		t.Fatal(err)
+	}
+	defer UnregisterSuite(suite)
+
+	var spec *experiments.Spec
+	for _, sp := range experiments.Specs() {
+		if sp.ID == "scenario/bridge-a" {
+			sp := sp
+			spec = &sp
+		}
+	}
+	if spec == nil {
+		t.Fatal("registered scenario missing from experiments.Specs()")
+	}
+	out := experiments.Run(experiments.Config{Quick: true, Seed: 1}, []experiments.Spec{*spec})
+	v, unit, err := experiments.Headline(out[0])
+	if err != nil || v != 1 || unit != "checks-passed" {
+		t.Errorf("headline via registry = %v %s (%v), want 1 checks-passed", v, unit, err)
+	}
+
+	// Duplicate registration must fail and roll back nothing else.
+	if err := RegisterSuite(suite); err == nil {
+		t.Error("duplicate suite registration did not error")
+	}
+
+	dup := &Suite{Name: "dup", Scenarios: []*Scenario{
+		quickScenario("bridge-b", nil),
+		quickScenario("bridge-a", nil), // collides with the installed one
+	}}
+	if err := RegisterSuite(dup); err == nil {
+		t.Fatal("colliding suite registration did not error")
+	}
+	for _, sp := range experiments.Specs() {
+		if sp.ID == "scenario/bridge-b" {
+			t.Error("failed registration left bridge-b behind (no rollback)")
+		}
+	}
+}
